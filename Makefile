@@ -1,0 +1,42 @@
+# relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments verify examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/txn/ ./internal/integration/ ./cmd/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every paper artifact (the body of EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/relaxctl run all
+
+# Bounded model checking of Theorem 4 and the companion claims.
+verify:
+	$(GO) run ./cmd/relaxctl verify
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/taxidispatch
+	$(GO) run ./examples/bankatm
+	$(GO) run ./examples/printspool
+	$(GO) run ./examples/gridstore
+
+clean:
+	$(GO) clean ./...

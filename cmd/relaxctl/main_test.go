@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(args, &buf)
+	return buf.String(), err
+}
+
+func TestUsage(t *testing.T) {
+	for _, args := range [][]string{nil, {"help"}, {"-h"}} {
+		out, err := runCmd(t, args...)
+		if err != nil {
+			t.Fatalf("usage: %v", err)
+		}
+		if !strings.Contains(out, "relaxctl") || !strings.Contains(out, "verify") {
+			t.Errorf("usage output: %q", out[:60])
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, err := runCmd(t, "bogus"); err == nil {
+		t.Errorf("expected error")
+	}
+}
+
+func TestList(t *testing.T) {
+	out, err := runCmd(t, "list")
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, id := range []string{"E01", "E08", "E16"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := runCmd(t, "run", "-trials", "2000", "-maxlen", "4", "e15")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Summary chart") || !strings.Contains(out, "HOLDS") {
+		t.Errorf("output: %q", out)
+	}
+	if _, err := runCmd(t, "run", "nope"); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}
+
+func TestLatticeCommand(t *testing.T) {
+	out, err := runCmd(t, "lattice", "account")
+	if err != nil {
+		t.Fatalf("lattice: %v", err)
+	}
+	if !strings.Contains(out, "SpuriousAccount") || !strings.Contains(out, "A2") {
+		t.Errorf("output: %q", out)
+	}
+	if _, err := runCmd(t, "lattice", "nope"); err == nil {
+		t.Errorf("unknown lattice should error")
+	}
+	// Default lattice.
+	out, err = runCmd(t, "lattice")
+	if err != nil || !strings.Contains(out, "replicated-priority-queue") {
+		t.Errorf("default lattice: %v %q", err, out[:40])
+	}
+}
+
+func TestDOTCommand(t *testing.T) {
+	out, err := runCmd(t, "dot", "lattice", "combined")
+	if err != nil {
+		t.Fatalf("dot lattice: %v", err)
+	}
+	if !strings.HasPrefix(out, "digraph") || !strings.Contains(out, "SSqueue_1_1") {
+		t.Errorf("dot output: %q", out[:60])
+	}
+	out, err = runCmd(t, "dot", "automaton", "pq")
+	if err != nil || !strings.Contains(out, "Enq(1)/Ok()") {
+		t.Errorf("dot automaton: %v %q", err, out[:60])
+	}
+	out, err = runCmd(t, "dot", "automaton", "account")
+	if err != nil || !strings.Contains(out, "balance") {
+		t.Errorf("dot account: %v", err)
+	}
+	// Defaults and errors.
+	if _, err := runCmd(t, "dot"); err == nil {
+		t.Errorf("dot without kind should error")
+	}
+	if _, err := runCmd(t, "dot", "nope"); err == nil {
+		t.Errorf("unknown dot kind should error")
+	}
+	if _, err := runCmd(t, "dot", "lattice", "nope"); err == nil {
+		t.Errorf("unknown dot lattice should error")
+	}
+	if _, err := runCmd(t, "dot", "automaton", "nope"); err == nil {
+		t.Errorf("unknown dot automaton should error")
+	}
+	if out, err := runCmd(t, "dot", "lattice"); err != nil || !strings.Contains(out, "digraph") {
+		t.Errorf("default dot lattice: %v", err)
+	}
+	if out, err := runCmd(t, "dot", "automaton"); err != nil || !strings.Contains(out, "digraph") {
+		t.Errorf("default dot automaton: %v", err)
+	}
+}
+
+func TestVerifyCommand(t *testing.T) {
+	out, err := runCmd(t, "verify", "-maxlen", "4")
+	if err != nil {
+		t.Fatalf("verify: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "FAILS") {
+		t.Errorf("verify reported failure:\n%s", out)
+	}
+	for _, want := range []string{"Theorem 4", "One-copy serializability", "Premature-debit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("verify missing %q", want)
+		}
+	}
+}
+
+func TestAuditCommand(t *testing.T) {
+	out, err := runCmd(t, "audit", "-lattice", "taxi", "Enq(3)/Ok() Deq()/Ok(3) Deq()/Ok(3)")
+	if err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if !strings.Contains(out, "{Q1}") {
+		t.Errorf("audit output: %q", out)
+	}
+	// Unaccepted history.
+	out, err = runCmd(t, "audit", "Deq()/Ok(9)")
+	if err != nil || !strings.Contains(out, "not accepted") {
+		t.Errorf("audit unaccepted: %v %q", err, out)
+	}
+	// Errors.
+	if _, err := runCmd(t, "audit"); err == nil {
+		t.Errorf("audit without history should error")
+	}
+	if _, err := runCmd(t, "audit", "-lattice", "nope", "Enq(1)/Ok()"); err == nil {
+		t.Errorf("unknown lattice should error")
+	}
+	if _, err := runCmd(t, "audit", "garbage"); err == nil {
+		t.Errorf("unparseable history should error")
+	}
+}
+
+func TestTraceCommand(t *testing.T) {
+	out, err := runCmd(t, "trace")
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	for _, want := range []string{"crash(S2)", "✗", "episodes:", "SSqueue_2_1", "repair"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+func TestCensusCommand(t *testing.T) {
+	out, err := runCmd(t, "census", "-lattice", "taxi",
+		"Enq(1)/Ok() Deq()/Ok(1)",
+		"Enq(3)/Ok() Deq()/Ok(3) Deq()/Ok(3)",
+		"Deq()/Ok(9)")
+	if err != nil {
+		t.Fatalf("census: %v", err)
+	}
+	for _, want := range []string{"{Q1, Q2}", "{Q1}", "outside the lattice"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("census missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runCmd(t, "census"); err == nil {
+		t.Errorf("census without histories should error")
+	}
+	if _, err := runCmd(t, "census", "-lattice", "nope", "Enq(1)/Ok()"); err == nil {
+		t.Errorf("unknown lattice should error")
+	}
+	if _, err := runCmd(t, "census", "garbage("); err == nil {
+		t.Errorf("bad history should error")
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"relaxlattice/internal/txn"
+)
+
+func TestSpoolsimStrategies(t *testing.T) {
+	for _, strategy := range []txn.Strategy{txn.Blocking, txn.Optimistic, txn.Pessimistic} {
+		var buf bytes.Buffer
+		if err := run(&buf, strategy, 3, 9, 1987, 0.1, time.Millisecond); err != nil {
+			t.Fatalf("%v: %v", strategy, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "lattice verification") {
+			t.Errorf("%v output missing verification:\n%s", strategy, out)
+		}
+		// Every run lands inside the combined SSqueue bound.
+		if !strings.Contains(out, "SSqueue_") {
+			t.Errorf("%v missing SSqueue line", strategy)
+		}
+		if strings.Contains(out, "SSqueue_") && strings.Contains(out, "): false") {
+			// The SSqueue_kk line specifically must be true; find it.
+			for _, line := range strings.Split(out, "\n") {
+				if strings.Contains(line, "SSqueue_") && strings.Contains(line, "false") {
+					t.Errorf("%v left the SSqueue bound: %s", strategy, line)
+				}
+			}
+		}
+	}
+}
+
+func TestSpoolsimBlockingIsFIFO(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, txn.Blocking, 4, 12, 3, 0.0, time.Millisecond); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Atomic(FifoQueue)): true") {
+		t.Errorf("blocking should be FIFO:\n%s", out)
+	}
+	if !strings.Contains(out, "jobs printed more than once: 0") {
+		t.Errorf("blocking duplicated jobs:\n%s", out)
+	}
+	if !strings.Contains(out, "printed out of spool order: 0") {
+		t.Errorf("blocking reordered jobs:\n%s", out)
+	}
+}

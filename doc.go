@@ -1,0 +1,13 @@
+// Package relaxlattice reproduces Herlihy & Wing, "Specifying Graceful
+// Degradation in Distributed Systems" (PODC 1987) as an executable Go
+// library: the relaxation-lattice specification method
+// (internal/lattice), simple object automata and bounded language
+// checking (internal/automaton, internal/specs), quorum-consensus
+// replication with QCA automata and serial dependency relations
+// (internal/quorum, internal/cluster), transactional atomicity with the
+// optimistic/pessimistic spool queues (internal/txn), and a runnable
+// experiment per paper figure and claim (internal/experiments).
+//
+// Start with the README, DESIGN.md (system inventory and per-experiment
+// index), and examples/quickstart.
+package relaxlattice

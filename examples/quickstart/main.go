@@ -1,0 +1,75 @@
+// Quickstart: define a data type's preferred behavior, build a
+// relaxation lattice over explicit constraints, verify the lattice
+// laws, and audit observed histories for degradation.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/specs"
+)
+
+func main() {
+	// 1. A constraint universe: what the environment must provide for
+	// the preferred behavior to be implementable. Here: D = "items are
+	// never duplicated", O = "items are never reordered".
+	u := lattice.NewUniverse(
+		lattice.Constraint{Name: "D", Desc: "no duplicate returns"},
+		lattice.Constraint{Name: "O", Desc: "no out-of-order returns"},
+	)
+
+	// 2. The lattice homomorphism φ: each constraint set maps to the
+	// automaton describing the behavior an object exhibits while
+	// satisfying exactly those constraints. SSqueue_jk permits any of
+	// the first k items to be returned up to j times; SSqueue_11 is the
+	// FIFO queue.
+	lat := &lattice.Relaxation{
+		Name:     "quickstart-queue",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			j, k := 2, 2
+			if s.Has(u.Index("D")) {
+				j = 1
+			}
+			if s.Has(u.Index("O")) {
+				k = 1
+			}
+			return specs.SSQueue(j, k), true
+		},
+	}
+
+	// 3. Inspect the lattice.
+	fmt.Print(lat.Hasse())
+	fmt.Printf("preferred behavior: %s\n\n", lat.Preferred().Name())
+
+	// 4. Verify the homomorphism is monotone: relaxing constraints only
+	// ever adds behaviors (bounded model checking to history length 5).
+	violations := lat.VerifyMonotone(history.QueueAlphabet(2), 5)
+	fmt.Printf("monotonicity violations: %d\n\n", len(violations))
+
+	// 5. Audit observed histories: how far did an execution degrade?
+	for _, s := range []string{
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(1) Deq()/Ok(2)", // FIFO
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2) Deq()/Ok(1)", // reordered
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)",             // duplicated
+	} {
+		h, err := history.Parse(s)
+		if err != nil {
+			panic(err)
+		}
+		sets, ok := lat.WeakestAccepting(h)
+		if !ok {
+			fmt.Printf("%-55s not in the lattice\n", h)
+			continue
+		}
+		for _, set := range sets {
+			a, _ := lat.Phi(set)
+			fmt.Printf("%-55s strongest constraints %s → %s\n", h, u.Format(set), a.Name())
+		}
+	}
+}

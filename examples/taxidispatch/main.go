@@ -1,0 +1,83 @@
+// Taxi dispatch (Section 3.3): a replicated real-time priority queue
+// of customer requests. Dispatchers enqueue prioritized requests and
+// drivers dequeue the best pending one. The queue is replicated over
+// five sites with packet-radio-grade communication: sites crash and
+// the network partitions, and rather than refuse service, dispatchers
+// and drivers degrade — enqueueing and dequeuing against whatever
+// sites they can reach. The relaxation lattice tells us exactly what
+// we gave up: with Q2 lost, requests may be serviced twice (MPQ); with
+// Q1 lost, out of order (OPQ); with both lost, both (DegenPQ).
+//
+// Run with: go run ./examples/taxidispatch
+package main
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/specs"
+)
+
+func main() {
+	c := cluster.New(cluster.Config{
+		Sites:   5,
+		Quorums: quorum.TaxiAssignments(5)["Q1Q2"],
+		Base:    specs.PriorityQueue(),
+		Eval:    quorum.PQEval,
+		Respond: cluster.PQResponder,
+	})
+	dispatcher := c.Client(0)
+	dispatcher.Degrade = true
+
+	// Morning rush: three requests at priorities 2, 8, 5.
+	for _, prio := range []int{2, 8, 5} {
+		op, err := dispatcher.Execute(history.EnqInv(prio))
+		fmt.Printf("dispatcher: %v (err=%v)\n", op, err)
+	}
+
+	// A driver picks up the most urgent request: priority 8.
+	driver := c.Client(3)
+	driver.Degrade = true
+	op, _ := driver.Execute(history.DeqInv())
+	fmt.Printf("driver:     %v  <- highest priority first\n", op)
+
+	// The city network splits: downtown {0,1} loses uptown {2,3,4}.
+	fmt.Println("\n!! network partition: {0,1} | {2,3,4}")
+	c.Partition([]int{0, 1}, []int{2, 3, 4})
+
+	// Both sides service the priority-5 request — each side's view
+	// cannot see the other's dequeue (Q2 no longer holds).
+	left, right := c.Client(0), c.Client(2)
+	left.Degrade, right.Degrade = true, true
+	op1, _ := left.Execute(history.DeqInv())
+	op2, _ := right.Execute(history.DeqInv())
+	fmt.Printf("left side:  %v\nright side: %v  <- same request, serviced twice\n", op1, op2)
+
+	// What did we degrade to? Audit the global observed history.
+	obs := c.Observed()
+	fmt.Printf("\nobserved history: %v\n\n", obs)
+	lat := core.TaxiSimpleLattice()
+	sets, _ := lat.WeakestAccepting(obs)
+	for _, s := range sets {
+		a, _ := lat.Phi(s)
+		fmt.Printf("degradation audit: constraints %s still hold → behavior %s\n",
+			lat.Universe.Format(s), a.Name())
+	}
+	fmt.Printf("  is a priority-queue history:       %v\n", automaton.Accepts(specs.PriorityQueue(), obs))
+	fmt.Printf("  is a multi-priority-queue history: %v (duplicates, never out of order)\n",
+		automaton.Accepts(specs.MultiPriorityQueue(), obs))
+
+	// After the partition heals and logs gossip, the system climbs back
+	// up the lattice: new operations are one-copy serializable again.
+	c.Heal()
+	c.Gossip()
+	fmt.Println("\n!! partition healed, logs gossiped")
+	op, _ = dispatcher.Execute(history.EnqInv(9))
+	fmt.Printf("dispatcher: %v\n", op)
+	op, _ = driver.Execute(history.DeqInv())
+	fmt.Printf("driver:     %v  <- preferred behavior restored for new work\n", op)
+}

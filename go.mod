@@ -1,0 +1,3 @@
+module relaxlattice
+
+go 1.22

@@ -1,0 +1,154 @@
+package automaton
+
+import (
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// PairState is the state of a product automaton: one state from each
+// component.
+type PairState struct {
+	A, B value.Value
+}
+
+// Key returns the canonical encoding.
+func (p PairState) Key() string { return "(" + p.A.Key() + "×" + p.B.Key() + ")" }
+
+// String renders the pair.
+func (p PairState) String() string { return "(" + p.A.String() + ", " + p.B.String() + ")" }
+
+type product struct {
+	name string
+	a, b Automaton
+}
+
+var _ Automaton = (*product)(nil)
+
+// Intersect returns the product automaton accepting L(a) ∩ L(b).
+// Because acceptance of these automata is the existence of a run (every
+// state is accepting), the pairwise product accepts a history exactly
+// when both components do.
+func Intersect(name string, a, b Automaton) Automaton {
+	return &product{name: name, a: a, b: b}
+}
+
+func (p *product) Name() string { return p.name }
+
+func (p *product) Init() value.Value {
+	return PairState{A: p.a.Init(), B: p.b.Init()}
+}
+
+func (p *product) Step(s value.Value, op history.Op) []value.Value {
+	ps, ok := s.(PairState)
+	if !ok {
+		return nil
+	}
+	nextA := p.a.Step(ps.A, op)
+	if len(nextA) == 0 {
+		return nil
+	}
+	nextB := p.b.Step(ps.B, op)
+	if len(nextB) == 0 {
+		return nil
+	}
+	out := make([]value.Value, 0, len(nextA)*len(nextB))
+	for _, sa := range nextA {
+		for _, sb := range nextB {
+			out = append(out, PairState{A: sa, B: sb})
+		}
+	}
+	return out
+}
+
+type union struct {
+	name string
+	a, b Automaton
+}
+
+var _ Automaton = (*union)(nil)
+
+// eitherState wraps a component state, remembering which components are
+// still alive.
+type eitherState struct {
+	a, b value.Value // nil = that component has died
+}
+
+func (e eitherState) Key() string {
+	ka, kb := "⊥", "⊥"
+	if e.a != nil {
+		ka = e.a.Key()
+	}
+	if e.b != nil {
+		kb = e.b.Key()
+	}
+	return "(" + ka + "∪" + kb + ")"
+}
+
+func (e eitherState) String() string { return e.Key() }
+
+// Union returns an automaton accepting L(a) ∪ L(b): it runs both
+// components and accepts while at least one is alive.
+func Union(name string, a, b Automaton) Automaton {
+	return &union{name: name, a: a, b: b}
+}
+
+func (u *union) Name() string { return u.name }
+
+func (u *union) Init() value.Value {
+	return eitherState{a: u.a.Init(), b: u.b.Init()}
+}
+
+func (u *union) Step(s value.Value, op history.Op) []value.Value {
+	es, ok := s.(eitherState)
+	if !ok {
+		return nil
+	}
+	// Track each component's full state set inside a single union
+	// state, so nondeterministic branching does not split liveness
+	// between siblings. We fold the component state sets here.
+	var nextA, nextB []value.Value
+	if es.a != nil {
+		nextA = u.a.Step(es.a, op)
+	}
+	if es.b != nil {
+		nextB = u.b.Step(es.b, op)
+	}
+	if len(nextA) == 0 && len(nextB) == 0 {
+		return nil
+	}
+	// Pair every surviving combination; dead components carry nil.
+	var out []value.Value
+	if len(nextA) == 0 {
+		for _, sb := range nextB {
+			out = append(out, eitherState{b: sb})
+		}
+		return out
+	}
+	if len(nextB) == 0 {
+		for _, sa := range nextA {
+			out = append(out, eitherState{a: sa})
+		}
+		return out
+	}
+	for _, sa := range nextA {
+		for _, sb := range nextB {
+			out = append(out, eitherState{a: sa, b: sb})
+		}
+	}
+	return out
+}
+
+// RejectionPoint returns the length of the shortest rejected prefix of
+// h (len(h)+1 meaning h is accepted), and that prefix. Because the
+// languages are prefix-closed this pinpoints exactly where a history
+// leaves L(a) — useful for explaining degradation.
+func RejectionPoint(a Automaton, h history.History) (int, history.History) {
+	states := []value.Value{a.Init()}
+	for i, op := range h {
+		states = stepAll(a, states, op)
+		if len(states) == 0 {
+			return i + 1, h.Prefix(i + 1)
+		}
+	}
+	return len(h) + 1, nil
+}

@@ -1,0 +1,145 @@
+package automaton
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// evens accepts histories whose Credit amounts are all even; positives
+// accepts histories whose Credit amounts are all ≥ limit.
+func amountFilter(name string, keep func(int) bool) *Spec {
+	return NewSpec(name, value.NewAccount(0),
+		OpSpec{
+			Name: history.NameCredit,
+			Pre: func(s value.Value, op history.Op) bool {
+				return keep(op.Args[0])
+			},
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				return []value.Value{s}
+			},
+		},
+	)
+}
+
+func TestIntersectLanguages(t *testing.T) {
+	evens := amountFilter("evens", func(n int) bool { return n%2 == 0 })
+	small := amountFilter("small", func(n int) bool { return n <= 2 })
+	both := Intersect("both", evens, small)
+	alphabet := []history.Op{history.Credit(1), history.Credit(2), history.Credit(3), history.Credit(4)}
+	res := Compare(both, evens, alphabet, 3)
+	if res.Equal {
+		t.Errorf("intersection should be strictly smaller than evens")
+	}
+	// Accepts only Credit(2) repeated.
+	if !Accepts(both, history.History{history.Credit(2), history.Credit(2)}) {
+		t.Errorf("rejects common history")
+	}
+	for _, bad := range []history.Op{history.Credit(1), history.Credit(4)} {
+		if Accepts(both, history.History{bad}) {
+			t.Errorf("accepted %v", bad)
+		}
+	}
+	if both.Name() != "both" {
+		t.Errorf("Name = %q", both.Name())
+	}
+	// Foreign state rejected gracefully.
+	if both.Step(value.EmptyBag(), history.Credit(2)) != nil {
+		t.Errorf("foreign state accepted")
+	}
+}
+
+// The product tracks nondeterminism in both components: intersect the
+// priority queue's language with itself via distinct state spaces.
+func TestIntersectWithNondeterminism(t *testing.T) {
+	// chaotic accepts Enq always (two successor states), Deq only from
+	// even state (see automaton_test.go's chaos).
+	a := chaos()
+	b := chaos().Rename("chaos2")
+	both := Intersect("c∩c", a, b)
+	alphabet := []history.Op{history.Enq(0), history.DeqOk(0)}
+	res := Compare(both, a, alphabet, 5)
+	if !res.Equal {
+		t.Errorf("L(a ∩ a) != L(a): onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestUnionLanguages(t *testing.T) {
+	evens := amountFilter("evens", func(n int) bool { return n%2 == 0 })
+	small := amountFilter("small", func(n int) bool { return n <= 2 })
+	either := Union("either", evens, small)
+	// Credit(1) (small only), Credit(4) (even only), Credit(2) (both).
+	for _, good := range []history.History{
+		{history.Credit(1)},
+		{history.Credit(4)},
+		{history.Credit(2), history.Credit(1)},
+		{history.Credit(4), history.Credit(2)},
+	} {
+		if !Accepts(either, good) {
+			t.Errorf("union rejected %v", good)
+		}
+	}
+	// Credit(3) is in neither.
+	if Accepts(either, history.History{history.Credit(3)}) {
+		t.Errorf("union accepted Credit(3)")
+	}
+	// Mixing the branches must fail: 1 (small-only) then 4 (even-only)
+	// is in neither language.
+	if Accepts(either, history.History{history.Credit(1), history.Credit(4)}) {
+		t.Errorf("union accepted cross-branch history")
+	}
+	if either.Name() != "either" {
+		t.Errorf("Name = %q", either.Name())
+	}
+	if either.Step(value.EmptyBag(), history.Credit(2)) != nil {
+		t.Errorf("foreign state accepted")
+	}
+}
+
+// Union against a sub-language: L(a) ∪ L(a∩b) = L(a).
+func TestUnionAbsorption(t *testing.T) {
+	evens := amountFilter("evens", func(n int) bool { return n%2 == 0 })
+	small := amountFilter("small", func(n int) bool { return n <= 2 })
+	both := Intersect("both", evens, small)
+	either := Union("abs", evens, both)
+	alphabet := []history.Op{history.Credit(1), history.Credit(2), history.Credit(4)}
+	res := Compare(either, evens, alphabet, 4)
+	if !res.Equal {
+		t.Errorf("absorption failed: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestRejectionPoint(t *testing.T) {
+	evens := amountFilter("evens", func(n int) bool { return n%2 == 0 })
+	h := history.History{history.Credit(2), history.Credit(4), history.Credit(3), history.Credit(2)}
+	at, prefix := RejectionPoint(evens, h)
+	if at != 3 {
+		t.Fatalf("rejection at %d, want 3", at)
+	}
+	if !prefix.Equal(h.Prefix(3)) {
+		t.Errorf("prefix = %v", prefix)
+	}
+	// Accepted history: rejection point past the end.
+	ok := history.History{history.Credit(2), history.Credit(2)}
+	at, prefix = RejectionPoint(evens, ok)
+	if at != 3 || prefix != nil {
+		t.Errorf("accepted history: at=%d prefix=%v", at, prefix)
+	}
+}
+
+func TestPairStateKeys(t *testing.T) {
+	p := PairState{A: value.NewAccount(1), B: value.NewAccount(2)}
+	q := PairState{A: value.NewAccount(2), B: value.NewAccount(1)}
+	if p.Key() == q.Key() {
+		t.Errorf("pair key collision")
+	}
+	if p.String() == "" {
+		t.Errorf("empty String")
+	}
+	e := eitherState{a: value.NewAccount(1)}
+	f := eitherState{b: value.NewAccount(1)}
+	if e.Key() == f.Key() {
+		t.Errorf("either key collision")
+	}
+}

@@ -1,0 +1,24 @@
+package automaton
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+func TestIsDeterministic(t *testing.T) {
+	alphabet := []history.Op{history.Enq(0), history.DeqOk(0)}
+	// counter is deterministic.
+	ok, witness := IsDeterministic(counter(), history.AccountAlphabet(2), 4)
+	if !ok {
+		t.Errorf("counter nondeterministic at %v", witness)
+	}
+	// chaos branches on Enq.
+	ok, witness = IsDeterministic(chaos(), alphabet, 3)
+	if ok {
+		t.Fatalf("chaos reported deterministic")
+	}
+	if len(witness) != 1 || !witness[0].Equal(history.Enq(0)) {
+		t.Errorf("witness = %v", witness)
+	}
+}

@@ -1,0 +1,94 @@
+package automaton
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// DOT renders the automaton's reachable state graph (over the alphabet,
+// up to maxDepth transitions from s₀) in Graphviz DOT format. States
+// are labeled with their String form; edges with the operation
+// executions. Intended for inspecting and documenting small
+// specifications.
+func DOT(a Automaton, alphabet []history.Op, maxDepth int) string {
+	type edge struct {
+		from, to, label string
+	}
+	var edges []edge
+	labels := map[string]string{}
+	init := a.Init()
+	labels[init.Key()] = init.String()
+	frontier := []value.Value{init}
+	seen := map[string]bool{init.Key(): true}
+	for depth := 0; depth < maxDepth && len(frontier) > 0; depth++ {
+		var next []value.Value
+		for _, s := range frontier {
+			for _, op := range alphabet {
+				for _, s2 := range a.Step(s, op) {
+					edges = append(edges, edge{from: s.Key(), to: s2.Key(), label: op.String()})
+					if !seen[s2.Key()] {
+						seen[s2.Key()] = true
+						labels[s2.Key()] = s2.String()
+						next = append(next, s2)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+
+	ids := map[string]int{}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		ids[k] = i
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", a.Name())
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", ids[k], labels[k])
+	}
+	// Merge parallel edges between the same states into one label.
+	merged := map[[2]int][]string{}
+	for _, e := range edges {
+		key := [2]int{ids[e.from], ids[e.to]}
+		merged[key] = append(merged[key], e.label)
+	}
+	var pairs [][2]int
+	for k := range merged {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, k := range pairs {
+		labelSet := merged[k]
+		sort.Strings(labelSet)
+		labelSet = uniqueStrings(labelSet)
+		fmt.Fprintf(&b, "  n%d -> n%d [label=%q];\n", k[0], k[1], strings.Join(labelSet, "\\n"))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func uniqueStrings(xs []string) []string {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || xs[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package automaton
+
+import (
+	"fmt"
+	"strings"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// CompareResult reports a bounded comparison of two languages: for every
+// history over the alphabet up to MaxLen, whether each automaton accepts
+// it. Because the languages are prefix-closed, the exploration prunes
+// histories rejected by both sides.
+type CompareResult struct {
+	// MaxLen is the history-length bound of the exploration.
+	MaxLen int
+	// CountA[l] and CountB[l] are the numbers of accepted histories of
+	// length exactly l, for l in 0..MaxLen.
+	CountA, CountB []int
+	// Equal reports L(A) = L(B) restricted to histories ≤ MaxLen.
+	Equal bool
+	// OnlyA is the first history found in L(A) \ L(B), if any; OnlyB
+	// likewise for L(B) \ L(A).
+	OnlyA, OnlyB history.History
+	// Explored is the total number of histories visited.
+	Explored int
+}
+
+// SubsetAB reports L(A) ⊆ L(B) up to the bound.
+func (r CompareResult) SubsetAB() bool { return r.OnlyA == nil }
+
+// SubsetBA reports L(B) ⊆ L(A) up to the bound.
+func (r CompareResult) SubsetBA() bool { return r.OnlyB == nil }
+
+// String renders a per-length table of accepted-history counts.
+func (r CompareResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "len  |L(A)|  |L(B)|\n")
+	for l := 0; l <= r.MaxLen; l++ {
+		fmt.Fprintf(&b, "%3d  %6d  %6d\n", l, r.CountA[l], r.CountB[l])
+	}
+	fmt.Fprintf(&b, "equal=%v explored=%d\n", r.Equal, r.Explored)
+	return b.String()
+}
+
+type exploreNode struct {
+	h       history.History
+	statesA []value.Value // nil = h ∉ L(A)
+	statesB []value.Value // nil = h ∉ L(B)
+}
+
+// Compare explores every history over alphabet of length ≤ maxLen
+// accepted by at least one of a, b, and reports per-length counts,
+// bounded language equality, and first counterexamples in each
+// direction.
+func Compare(a, b Automaton, alphabet []history.Op, maxLen int) CompareResult {
+	res := CompareResult{
+		MaxLen: maxLen,
+		CountA: make([]int, maxLen+1),
+		CountB: make([]int, maxLen+1),
+		Equal:  true,
+	}
+	frontier := []exploreNode{{
+		h:       history.Empty,
+		statesA: []value.Value{a.Init()},
+		statesB: []value.Value{b.Init()},
+	}}
+	res.CountA[0], res.CountB[0] = 1, 1
+	res.Explored = 1
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		var next []exploreNode
+		for _, node := range frontier {
+			for _, op := range alphabet {
+				child := exploreNode{h: node.h.Append(op)}
+				if node.statesA != nil {
+					child.statesA = stepAll(a, node.statesA, op)
+				}
+				if node.statesB != nil {
+					child.statesB = stepAll(b, node.statesB, op)
+				}
+				inA, inB := child.statesA != nil, child.statesB != nil
+				if !inA && !inB {
+					continue // dead for both; prefix closure prunes the subtree
+				}
+				res.Explored++
+				if inA {
+					res.CountA[depth]++
+				}
+				if inB {
+					res.CountB[depth]++
+				}
+				if inA != inB {
+					res.Equal = false
+					if inA && res.OnlyA == nil {
+						res.OnlyA = child.h
+					}
+					if inB && res.OnlyB == nil {
+						res.OnlyB = child.h
+					}
+				}
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// Language enumerates L(a) restricted to histories of length ≤ maxLen
+// over the alphabet. The result preserves BFS order (shorter histories
+// first). Intended for small bounds; the language grows exponentially.
+func Language(a Automaton, alphabet []history.Op, maxLen int) []history.History {
+	type node struct {
+		h      history.History
+		states []value.Value
+	}
+	out := []history.History{history.Empty}
+	frontier := []node{{h: history.Empty, states: []value.Value{a.Init()}}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		var next []node
+		for _, n := range frontier {
+			for _, op := range alphabet {
+				states := stepAll(a, n.states, op)
+				if states == nil {
+					continue
+				}
+				child := node{h: n.h.Append(op), states: states}
+				out = append(out, child.h)
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return out
+}
+
+// IsDeterministic reports, by bounded exploration, whether δ*(H) is a
+// singleton for every accepted history H of length ≤ maxLen — the
+// property the proof of Theorem 4 uses ("the postconditions ...
+// completely determine the new value of the queue"). It returns a
+// witness history with multiple reachable states when not.
+func IsDeterministic(a Automaton, alphabet []history.Op, maxLen int) (bool, history.History) {
+	type node struct {
+		h      history.History
+		states []value.Value
+	}
+	frontier := []node{{h: history.Empty, states: []value.Value{a.Init()}}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		var next []node
+		for _, n := range frontier {
+			for _, op := range alphabet {
+				states := stepAll(a, n.states, op)
+				if states == nil {
+					continue
+				}
+				child := node{h: n.h.Append(op), states: states}
+				if len(states) > 1 {
+					return false, child.h
+				}
+				next = append(next, child)
+			}
+		}
+		frontier = next
+	}
+	return true, nil
+}
+
+// CountLanguage returns the number of accepted histories of each length
+// 0..maxLen without materializing them.
+func CountLanguage(a Automaton, alphabet []history.Op, maxLen int) []int {
+	type node struct {
+		states []value.Value
+	}
+	counts := make([]int, maxLen+1)
+	counts[0] = 1
+	frontier := []node{{states: []value.Value{a.Init()}}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		var next []node
+		for _, n := range frontier {
+			for _, op := range alphabet {
+				states := stepAll(a, n.states, op)
+				if states == nil {
+					continue
+				}
+				counts[depth]++
+				next = append(next, node{states: states})
+			}
+		}
+		frontier = next
+	}
+	return counts
+}

@@ -1,0 +1,315 @@
+// Package cluster simulates a replicated object managed by quorum
+// consensus (Section 3.1): a set of sites holding timestamped logs, a
+// partitionable network, site crashes and recoveries, and clients that
+// execute operations with the three-step protocol — merge logs from an
+// initial quorum into a view, choose a response consistent with the
+// view, and record the new entry at a final quorum.
+//
+// A client in graceful-degradation mode falls back to whatever sites it
+// can reach when the preferred quorum is unavailable; the histories it
+// then produces land lower in the relaxation lattice, and the lattice
+// machinery (lattice.Relaxation.WeakestAccepting) identifies exactly
+// how far they degraded.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/value"
+)
+
+// ErrUnavailable is returned when a client cannot assemble the quorums
+// its operation requires (and degradation is not enabled).
+var ErrUnavailable = errors.New("cluster: quorum unavailable")
+
+// ErrNoResponse is returned when no response to the invocation is
+// consistent with the view (e.g. dequeuing from an apparently empty
+// queue).
+var ErrNoResponse = errors.New("cluster: no response consistent with view")
+
+// Responder chooses the response to an invocation given the view's
+// value, completing step 2 of the protocol. ok=false means no response
+// is consistent with the view.
+type Responder func(s value.Value, inv history.Invocation) (history.Op, bool)
+
+// Config configures a simulated cluster.
+type Config struct {
+	// Sites is the number of replica sites.
+	Sites int
+	// Quorums assigns quorums to operations (weighted voting, explicit
+	// quorum structures, or any other Assignment).
+	Quorums quorum.Assignment
+	// Base is the simple object automaton A whose pre/postconditions
+	// responses must satisfy.
+	Base *automaton.Spec
+	// Eval is the evaluation function η used to interpret views; nil
+	// defaults to δ* of Base.
+	Eval quorum.Eval
+	// Respond chooses responses from views.
+	Respond Responder
+}
+
+// Cluster is the simulated replicated object.
+type Cluster struct {
+	mu       sync.Mutex
+	cfg      Config
+	eval     quorum.Eval
+	logs     []quorum.Log
+	up       []bool
+	comp     []int // network component per site; equal = mutually reachable
+	observed history.History
+	nextID   int
+}
+
+// New builds a cluster with all sites up and fully connected. It
+// panics on invalid configuration (programming errors).
+func New(cfg Config) *Cluster {
+	if cfg.Sites <= 0 {
+		panic(fmt.Sprintf("cluster: %d sites", cfg.Sites))
+	}
+	if cfg.Quorums == nil || cfg.Base == nil || cfg.Respond == nil {
+		panic("cluster: Quorums, Base, and Respond are required")
+	}
+	if cfg.Quorums.Sites() != cfg.Sites {
+		panic(fmt.Sprintf("cluster: assignment over %d sites, cluster has %d", cfg.Quorums.Sites(), cfg.Sites))
+	}
+	eval := cfg.Eval
+	if eval == nil {
+		eval = quorum.DeltaEval(cfg.Base)
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		eval: eval,
+		logs: make([]quorum.Log, cfg.Sites),
+		up:   make([]bool, cfg.Sites),
+		comp: make([]int, cfg.Sites),
+	}
+	for i := range c.up {
+		c.up[i] = true
+	}
+	return c
+}
+
+// Crash takes a site down; its log survives for later recovery.
+func (c *Cluster) Crash(site int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.up[site] = false
+}
+
+// Restore brings a crashed site back with its log intact.
+func (c *Cluster) Restore(site int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.up[site] = true
+}
+
+// Partition splits the network into the given groups of sites; sites
+// not listed form one extra component. Clients are attached to sites
+// and can reach exactly the sites in their component.
+func (c *Cluster) Partition(groups ...[]int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.comp {
+		c.comp[i] = 0
+	}
+	for g, group := range groups {
+		for _, s := range group {
+			c.comp[s] = g + 1
+		}
+	}
+}
+
+// Heal reconnects the whole network.
+func (c *Cluster) Heal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.comp {
+		c.comp[i] = 0
+	}
+}
+
+// UpSites returns how many sites are currently up.
+func (c *Cluster) UpSites() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, u := range c.up {
+		if u {
+			n++
+		}
+	}
+	return n
+}
+
+// reachableFrom returns the up sites in the same network component as
+// home (including home itself if up). Caller holds mu.
+func (c *Cluster) reachableFrom(home int) []int {
+	var out []int
+	for i := range c.logs {
+		if c.up[i] && c.comp[i] == c.comp[home] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Gossip pushes every site's log to every site reachable from it —
+// the asynchronous background propagation of Sections 3 and 3.4.
+func (c *Cluster) Gossip() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	merged := make([]quorum.Log, len(c.logs))
+	for i := range c.logs {
+		if !c.up[i] {
+			merged[i] = c.logs[i]
+			continue
+		}
+		logs := []quorum.Log{c.logs[i]}
+		for j := range c.logs {
+			if j != i && c.up[j] && c.comp[j] == c.comp[i] {
+				logs = append(logs, c.logs[j])
+			}
+		}
+		merged[i] = quorum.Merge(logs...)
+	}
+	c.logs = merged
+}
+
+// PropagateFrom pushes one site's log to its reachable peers.
+func (c *Cluster) PropagateFrom(site int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.up[site] {
+		return
+	}
+	for j := range c.logs {
+		if j != site && c.up[j] && c.comp[j] == c.comp[site] {
+			c.logs[j] = quorum.Merge(c.logs[j], c.logs[site])
+		}
+	}
+}
+
+// Observed returns the global history of completed operations in
+// real-time completion order — the history whose lattice position the
+// degradation audit inspects.
+func (c *Cluster) Observed() history.History {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.observed.Append() // copy
+}
+
+// MergedLog returns the union of all resident logs (the object's "true"
+// current state, were every update propagated).
+func (c *Cluster) MergedLog() quorum.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return quorum.Merge(c.logs...)
+}
+
+// SiteLog returns a copy of one site's resident log.
+func (c *Cluster) SiteLog(site int) quorum.Log {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.logs[site]
+}
+
+// Client is a protocol participant attached (by locality) to a home
+// site. Each client owns a Lamport clock with a globally unique site
+// identifier.
+type Client struct {
+	c     *Cluster
+	clock *quorum.Clock
+	home  int
+	// Degrade enables graceful degradation: when the preferred quorum
+	// is unavailable the client proceeds with every reachable site
+	// (Section 3.3, "permitting the dispatchers and drivers to enqueue
+	// and dequeue requests from all available sites").
+	Degrade bool
+}
+
+// Client creates a client homed at the given site. Client clock
+// identifiers start above the site identifiers so timestamps are
+// globally unique.
+func (c *Cluster) Client(home int) *Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if home < 0 || home >= len(c.logs) {
+		panic(fmt.Sprintf("cluster: home site %d out of range", home))
+	}
+	c.nextID++
+	return &Client{
+		c:     c,
+		clock: quorum.NewClock(len(c.logs) + c.nextID),
+		home:  home,
+	}
+}
+
+// Execute runs the three-step quorum-consensus protocol for one
+// invocation. On success it returns the completed operation execution.
+func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
+	c := cl.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	reachable := c.reachableFrom(cl.home)
+	if !c.up[cl.home] {
+		reachable = nil // a client whose site is down reaches nothing
+	}
+	quorumOK := hasQuorum(c.cfg.Quorums, inv.Name, reachable, len(c.logs))
+	if !quorumOK && !cl.Degrade {
+		return history.Op{}, fmt.Errorf("%w: op %s reaches %d site(s)", ErrUnavailable, inv.Name, len(reachable))
+	}
+	if len(reachable) == 0 {
+		return history.Op{}, fmt.Errorf("%w: op %s reaches no sites", ErrUnavailable, inv.Name)
+	}
+
+	// Step 1: merge the logs from an initial quorum into a view. (All
+	// reachable sites participate; any superset of an initial quorum is
+	// an initial quorum.)
+	logs := make([]quorum.Log, 0, len(reachable))
+	for _, s := range reachable {
+		logs = append(logs, c.logs[s])
+	}
+	view := quorum.Merge(logs...)
+	states := c.eval(view.History())
+	if len(states) == 0 {
+		return history.Op{}, fmt.Errorf("cluster: view not interpretable by η")
+	}
+	s := states[0]
+
+	// Step 2: choose a response consistent with the view.
+	op, ok := c.cfg.Respond(s, inv)
+	if !ok {
+		return history.Op{}, fmt.Errorf("%w: %s on view %s", ErrNoResponse, inv, s)
+	}
+	if !c.cfg.Base.PreHolds(s, op) {
+		return history.Op{}, fmt.Errorf("%w: precondition of %s fails on view %s", ErrNoResponse, op, s)
+	}
+
+	// Step 3: append the entry and send the updated view to a final
+	// quorum (here: every reachable site).
+	if maxTS, any := view.MaxTS(); any {
+		cl.clock.Witness(maxTS)
+	}
+	entry := quorum.Entry{TS: cl.clock.Tick(), Op: op}
+	updated := view.Append(entry)
+	for _, site := range reachable {
+		c.logs[site] = quorum.Merge(c.logs[site], updated)
+	}
+	c.observed = c.observed.Append(op)
+	return op, nil
+}
+
+func hasQuorum(v quorum.Assignment, op string, reachable []int, sites int) bool {
+	alive := make([]bool, sites)
+	for _, s := range reachable {
+		alive[s] = true
+	}
+	return v.HasQuorum(op, alive)
+}

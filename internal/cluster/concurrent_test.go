@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/specs"
+)
+
+// The cluster is safe for concurrent clients: parallel dispatchers and
+// drivers, plus a fault-injecting goroutine, never corrupt state, and
+// the observed history stays one-copy serializable (clients do not
+// degrade, so operations without quorum simply fail).
+func TestConcurrentClientsSerializable(t *testing.T) {
+	c := taxiCluster(t, 5, "Q1Q2")
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+
+	// Fault injector: crashes and restores sites.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			site := i % 5
+			c.Crash(site)
+			c.Restore(site)
+			c.Gossip()
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := c.Client(w % 5)
+			for i := 0; i < 25; i++ {
+				var err error
+				if (w+i)%2 == 0 {
+					_, err = cl.Execute(history.EnqInv(1 + (w+i)%9))
+				} else {
+					_, err = cl.Execute(history.DeqInv())
+				}
+				if err != nil && !errors.Is(err, ErrUnavailable) && !errors.Is(err, ErrNoResponse) {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("client error: %v", err)
+	}
+	obs := c.Observed()
+	if len(obs) == 0 {
+		t.Fatalf("no operations completed")
+	}
+	if !automaton.Accepts(specs.PriorityQueue(), obs) {
+		t.Fatalf("concurrent non-degrading clients broke one-copy serializability:\n%v", obs)
+	}
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/sim"
+)
+
+// FaultConfig parameterizes a background fault process over a cluster:
+// independent per-site crash/repair cycles and whole-network
+// partition/heal cycles, with exponentially distributed dwell times —
+// the crash and communication-failure events of the environment
+// automaton (Section 2.3), generated stochastically.
+type FaultConfig struct {
+	// MTTF is the mean time between a site coming up and its next
+	// crash. Zero disables crashes.
+	MTTF float64
+	// MTTR is the mean repair time for a crashed site.
+	MTTR float64
+	// MTBP is the mean time between partitions. Zero disables
+	// partitions.
+	MTBP float64
+	// PartitionDwell is the mean time a partition lasts before healing
+	// (followed by a gossip round).
+	PartitionDwell float64
+}
+
+// FaultProcess drives a cluster's failures on a discrete-event engine.
+type FaultProcess struct {
+	cfg     FaultConfig
+	cluster *Cluster
+	engine  *sim.Engine
+	rng     *sim.RNG
+	// Counters for reporting.
+	Crashes, Repairs, Partitions, Heals int
+}
+
+// NewFaultProcess attaches a fault process to a cluster and engine. It
+// panics on non-positive repair/dwell times when the corresponding
+// fault class is enabled.
+func NewFaultProcess(c *Cluster, engine *sim.Engine, rng *sim.RNG, cfg FaultConfig) *FaultProcess {
+	if cfg.MTTF > 0 && cfg.MTTR <= 0 {
+		panic(fmt.Sprintf("cluster: crashes enabled with MTTR %v", cfg.MTTR))
+	}
+	if cfg.MTBP > 0 && cfg.PartitionDwell <= 0 {
+		panic(fmt.Sprintf("cluster: partitions enabled with dwell %v", cfg.PartitionDwell))
+	}
+	return &FaultProcess{cfg: cfg, cluster: c, engine: engine, rng: rng}
+}
+
+// Start schedules the initial fault events. Call once before running
+// the engine.
+func (f *FaultProcess) Start() {
+	if f.cfg.MTTF > 0 {
+		for site := 0; site < f.cluster.cfg.Sites; site++ {
+			f.scheduleCrash(site)
+		}
+	}
+	if f.cfg.MTBP > 0 {
+		f.schedulePartition()
+	}
+}
+
+func (f *FaultProcess) scheduleCrash(site int) {
+	f.engine.After(f.rng.Exp(f.cfg.MTTF), func() {
+		f.cluster.Crash(site)
+		f.Crashes++
+		f.engine.After(f.rng.Exp(f.cfg.MTTR), func() {
+			f.cluster.Restore(site)
+			f.Repairs++
+			// A recovering site catches up by gossip.
+			f.cluster.Gossip()
+			f.scheduleCrash(site)
+		})
+	})
+}
+
+func (f *FaultProcess) schedulePartition() {
+	f.engine.After(f.rng.Exp(f.cfg.MTBP), func() {
+		n := f.cluster.cfg.Sites
+		cut := 1 + f.rng.Intn(n-1)
+		perm := f.rng.Perm(n)
+		f.cluster.Partition(perm[:cut], perm[cut:])
+		f.Partitions++
+		f.engine.After(f.rng.Exp(f.cfg.PartitionDwell), func() {
+			f.cluster.Heal()
+			f.cluster.Gossip()
+			f.Heals++
+			f.schedulePartition()
+		})
+	})
+}
+
+// String summarizes the injected faults.
+func (f *FaultProcess) String() string {
+	return fmt.Sprintf("faults(crashes=%d repairs=%d partitions=%d heals=%d)",
+		f.Crashes, f.Repairs, f.Partitions, f.Heals)
+}

@@ -1,0 +1,277 @@
+// Package commit implements the two-phase commitment protocol the
+// paper cites (Section 2, citing Gray's notes and Eswaran et al.) as
+// one of the standard techniques for making operations atomic: an
+// operation either takes place completely or not at all. The
+// implementation is a deterministic protocol simulation with fault
+// injection — coordinator and participant crashes at every interesting
+// point — plus the cooperative termination protocol that lets surviving
+// participants finish when the coordinator is down, and the recovery
+// path that resolves blocked participants when it returns.
+package commit
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Vote is a participant's answer to the prepare request.
+type Vote int
+
+// Participant votes.
+const (
+	VoteYes Vote = iota + 1
+	VoteNo
+)
+
+// Decision is a transaction outcome at one node.
+type Decision int
+
+// Decisions. Pending means the node has not learned an outcome (a
+// prepared participant stays pending — blocked — until it learns).
+const (
+	DecisionPending Decision = iota
+	DecisionCommit
+	DecisionAbort
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case DecisionCommit:
+		return "commit"
+	case DecisionAbort:
+		return "abort"
+	default:
+		return "pending"
+	}
+}
+
+// Faults configures crash injection for one protocol run.
+type Faults struct {
+	// CrashBeforeVote crashes these participants before they receive
+	// the prepare request (they never vote).
+	CrashBeforeVote map[int]bool
+	// CrashAfterVote crashes these participants right after voting
+	// (they are prepared but unreachable during decision broadcast).
+	CrashAfterVote map[int]bool
+	// CoordCrashAfterPrepare crashes the coordinator after collecting
+	// votes but before logging a decision — the classic blocking
+	// window.
+	CoordCrashAfterPrepare bool
+	// CoordCrashAfterLog crashes the coordinator after logging the
+	// decision but before telling anyone.
+	CoordCrashAfterLog bool
+	// CoordCrashMidBroadcast crashes the coordinator after informing
+	// only the first still-up participant.
+	CoordCrashMidBroadcast bool
+}
+
+// participant is one resource manager.
+type participant struct {
+	vote     Vote
+	voted    bool
+	prepared bool // voted yes and is bound by the protocol
+	decision Decision
+	crashed  bool
+}
+
+// TwoPC is one transaction's protocol instance.
+type TwoPC struct {
+	parts []*participant
+	// coordLog is the coordinator's durable decision record (survives
+	// coordinator crashes).
+	coordLog Decision
+	// coordUp reports whether the coordinator process is running.
+	coordUp bool
+}
+
+// New creates a protocol instance with n participants.
+func New(n int) *TwoPC {
+	if n < 1 {
+		panic(fmt.Sprintf("commit: %d participants", n))
+	}
+	t := &TwoPC{parts: make([]*participant, n), coordUp: true}
+	for i := range t.parts {
+		t.parts[i] = &participant{}
+	}
+	return t
+}
+
+// Outcome summarizes a protocol run.
+type Outcome struct {
+	// Coordinator is the coordinator's logged decision (Pending if it
+	// crashed before logging).
+	Coordinator Decision
+	// Participants is each participant's decision; crashed or blocked
+	// participants may be Pending.
+	Participants []Decision
+	// Blocked lists prepared participants stuck at Pending — they hold
+	// locks and can neither commit nor abort until recovery.
+	Blocked []int
+}
+
+// Run executes the protocol with the given votes and faults. It never
+// returns an inconsistent state; progress is what faults permit.
+func (t *TwoPC) Run(votes []Vote, faults Faults) Outcome {
+	if len(votes) != len(t.parts) {
+		panic(fmt.Sprintf("commit: %d votes for %d participants", len(votes), len(t.parts)))
+	}
+	// Phase 1: prepare. The coordinator asks everyone to vote.
+	allYes := true
+	for i, p := range t.parts {
+		if faults.CrashBeforeVote[i] {
+			p.crashed = true
+			allYes = false // a silent participant counts as a No
+			continue
+		}
+		p.vote = votes[i]
+		p.voted = true
+		if votes[i] == VoteYes {
+			p.prepared = true
+		} else {
+			allYes = false
+			// A No voter may unilaterally abort.
+			p.decision = DecisionAbort
+		}
+		if faults.CrashAfterVote[i] {
+			p.crashed = true
+		}
+	}
+
+	if faults.CoordCrashAfterPrepare {
+		t.coordUp = false
+		return t.terminate()
+	}
+
+	// Phase 2: the coordinator logs the decision durably...
+	if allYes {
+		t.coordLog = DecisionCommit
+	} else {
+		t.coordLog = DecisionAbort
+	}
+	if faults.CoordCrashAfterLog {
+		t.coordUp = false
+		return t.terminate()
+	}
+
+	// ...and broadcasts it.
+	informed := 0
+	for _, p := range t.parts {
+		if p.crashed {
+			continue
+		}
+		p.decision = t.coordLog
+		informed++
+		if faults.CoordCrashMidBroadcast && informed == 1 {
+			t.coordUp = false
+			break
+		}
+	}
+	return t.terminate()
+}
+
+// terminate runs the cooperative termination protocol: undecided
+// participants ask the coordinator (if up) or their peers. A prepared
+// participant that reaches neither a decision-holder nor a No voter
+// stays blocked.
+func (t *TwoPC) terminate() Outcome {
+	// One pass suffices: decisions only propagate, never change.
+	known := DecisionPending
+	if t.coordUp {
+		known = t.coordLog
+	}
+	if known == DecisionPending {
+		for _, p := range t.parts {
+			if !p.crashed && p.decision != DecisionPending {
+				known = p.decision
+				break
+			}
+		}
+	}
+	// If some reachable participant never prepared, everyone may abort:
+	// the coordinator cannot have logged a commit... unless it did and
+	// told no one — but commit requires all-yes, so an unprepared
+	// participant proves the decision was abort (or never made).
+	if known == DecisionPending {
+		for _, p := range t.parts {
+			if !p.crashed && (!p.voted || p.vote == VoteNo) {
+				known = DecisionAbort
+				break
+			}
+		}
+	}
+	if known != DecisionPending {
+		for _, p := range t.parts {
+			if !p.crashed && (p.prepared || p.decision == DecisionPending) && p.decision == DecisionPending {
+				p.decision = known
+			}
+		}
+	}
+	return t.outcome()
+}
+
+// RecoverCoordinator restarts the coordinator, which completes the
+// protocol from its durable log: an un-logged decision aborts (standard
+// presumed-abort recovery), a logged decision is re-broadcast.
+func (t *TwoPC) RecoverCoordinator() Outcome {
+	t.coordUp = true
+	if t.coordLog == DecisionPending {
+		t.coordLog = DecisionAbort
+	}
+	for _, p := range t.parts {
+		if !p.crashed && p.decision == DecisionPending {
+			p.decision = t.coordLog
+		}
+	}
+	return t.outcome()
+}
+
+// RecoverParticipant restarts a crashed participant, which learns the
+// outcome from the coordinator or peers if any decision is reachable.
+func (t *TwoPC) RecoverParticipant(i int) Outcome {
+	t.parts[i].crashed = false
+	return t.terminate()
+}
+
+func (t *TwoPC) outcome() Outcome {
+	out := Outcome{Coordinator: t.coordLog, Participants: make([]Decision, len(t.parts))}
+	for i, p := range t.parts {
+		out.Participants[i] = p.decision
+		if !p.crashed && p.prepared && p.decision == DecisionPending {
+			out.Blocked = append(out.Blocked, i)
+		}
+	}
+	return out
+}
+
+// ErrInconsistent is returned by CheckAtomicity when decisions diverge.
+var ErrInconsistent = errors.New("commit: participants decided differently")
+
+// CheckAtomicity validates the atomic-commitment safety properties of
+// an outcome: (AC1) no two participants decide differently, (AC2)
+// commit only if every participant voted yes, (AC3) the coordinator's
+// logged decision agrees with every participant decision.
+func CheckAtomicity(votes []Vote, out Outcome) error {
+	decided := DecisionPending
+	for i, d := range out.Participants {
+		if d == DecisionPending {
+			continue
+		}
+		if decided == DecisionPending {
+			decided = d
+		} else if d != decided {
+			return fmt.Errorf("%w: participant %d", ErrInconsistent, i)
+		}
+	}
+	if decided == DecisionCommit {
+		for i, v := range votes {
+			if v != VoteYes {
+				return fmt.Errorf("commit: committed despite participant %d voting no", i)
+			}
+		}
+	}
+	if out.Coordinator != DecisionPending && decided != DecisionPending && out.Coordinator != decided {
+		return fmt.Errorf("%w: coordinator %v vs participants %v", ErrInconsistent, out.Coordinator, decided)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package commit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func yes(n int) []Vote {
+	v := make([]Vote, n)
+	for i := range v {
+		v[i] = VoteYes
+	}
+	return v
+}
+
+func TestAllYesCommits(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{})
+	if out.Coordinator != DecisionCommit {
+		t.Fatalf("coordinator = %v", out.Coordinator)
+	}
+	for i, d := range out.Participants {
+		if d != DecisionCommit {
+			t.Errorf("participant %d = %v", i, d)
+		}
+	}
+	if len(out.Blocked) != 0 {
+		t.Errorf("blocked = %v", out.Blocked)
+	}
+	if err := CheckAtomicity(yes(3), out); err != nil {
+		t.Errorf("atomicity: %v", err)
+	}
+}
+
+func TestOneNoAborts(t *testing.T) {
+	votes := []Vote{VoteYes, VoteNo, VoteYes}
+	p := New(3)
+	out := p.Run(votes, Faults{})
+	if out.Coordinator != DecisionAbort {
+		t.Fatalf("coordinator = %v", out.Coordinator)
+	}
+	for i, d := range out.Participants {
+		if d != DecisionAbort {
+			t.Errorf("participant %d = %v", i, d)
+		}
+	}
+	if err := CheckAtomicity(votes, out); err != nil {
+		t.Errorf("atomicity: %v", err)
+	}
+}
+
+func TestSilentParticipantAborts(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{CrashBeforeVote: map[int]bool{1: true}})
+	if out.Coordinator != DecisionAbort {
+		t.Fatalf("a silent participant must abort the transaction: %v", out.Coordinator)
+	}
+	if out.Participants[0] != DecisionAbort || out.Participants[2] != DecisionAbort {
+		t.Errorf("survivors = %v", out.Participants)
+	}
+	// The crashed participant learns on recovery.
+	out = p.RecoverParticipant(1)
+	if out.Participants[1] != DecisionAbort {
+		t.Errorf("recovered participant = %v", out.Participants[1])
+	}
+}
+
+// The classic blocking window: coordinator crashes after everyone
+// prepared, before logging. Prepared participants are stuck.
+func TestCoordinatorCrashBlocks(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{CoordCrashAfterPrepare: true})
+	if out.Coordinator != DecisionPending {
+		t.Fatalf("coordinator logged %v", out.Coordinator)
+	}
+	if len(out.Blocked) != 3 {
+		t.Fatalf("blocked = %v, want all three", out.Blocked)
+	}
+	if err := CheckAtomicity(yes(3), out); err != nil {
+		t.Errorf("atomicity: %v", err)
+	}
+	// Recovery resolves by presumed abort.
+	out = p.RecoverCoordinator()
+	if out.Coordinator != DecisionAbort {
+		t.Fatalf("recovered coordinator = %v", out.Coordinator)
+	}
+	for i, d := range out.Participants {
+		if d != DecisionAbort {
+			t.Errorf("participant %d = %v after recovery", i, d)
+		}
+	}
+	if len(out.Blocked) != 0 {
+		t.Errorf("still blocked after recovery: %v", out.Blocked)
+	}
+}
+
+// Coordinator crashes after logging commit but before telling anyone:
+// participants block, and recovery re-broadcasts the logged commit.
+func TestCoordinatorCrashAfterLog(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{CoordCrashAfterLog: true})
+	if out.Coordinator != DecisionCommit {
+		t.Fatalf("coordinator log = %v", out.Coordinator)
+	}
+	if len(out.Blocked) != 3 {
+		t.Fatalf("blocked = %v", out.Blocked)
+	}
+	out = p.RecoverCoordinator()
+	for i, d := range out.Participants {
+		if d != DecisionCommit {
+			t.Errorf("participant %d = %v", i, d)
+		}
+	}
+}
+
+// Coordinator crashes after informing one participant: cooperative
+// termination lets the rest learn from the informed peer.
+func TestCooperativeTermination(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{CoordCrashMidBroadcast: true})
+	for i, d := range out.Participants {
+		if d != DecisionCommit {
+			t.Errorf("participant %d = %v (should learn from peer)", i, d)
+		}
+	}
+	if len(out.Blocked) != 0 {
+		t.Errorf("blocked despite informed peer: %v", out.Blocked)
+	}
+	if err := CheckAtomicity(yes(3), out); err != nil {
+		t.Errorf("atomicity: %v", err)
+	}
+}
+
+// A participant that crashes after voting misses the broadcast but
+// learns the outcome on recovery.
+func TestParticipantCrashAfterVote(t *testing.T) {
+	p := New(3)
+	out := p.Run(yes(3), Faults{CrashAfterVote: map[int]bool{2: true}})
+	if out.Coordinator != DecisionCommit {
+		t.Fatalf("coordinator = %v", out.Coordinator)
+	}
+	if out.Participants[2] != DecisionPending {
+		t.Fatalf("crashed participant decided: %v", out.Participants[2])
+	}
+	out = p.RecoverParticipant(2)
+	if out.Participants[2] != DecisionCommit {
+		t.Errorf("recovered participant = %v", out.Participants[2])
+	}
+}
+
+// Property: under arbitrary votes and fault patterns, followed by full
+// recovery, the safety properties hold and everyone eventually decides
+// the same thing.
+func TestAtomicityUnderRandomFaultsQuick(t *testing.T) {
+	f := func(voteBits, crashBefore, crashAfter uint8, coordFault uint8) bool {
+		const n = 4
+		votes := make([]Vote, n)
+		for i := range votes {
+			votes[i] = VoteYes
+			if voteBits&(1<<uint(i)) != 0 {
+				votes[i] = VoteNo
+			}
+		}
+		faults := Faults{
+			CrashBeforeVote: map[int]bool{},
+			CrashAfterVote:  map[int]bool{},
+		}
+		for i := 0; i < n; i++ {
+			if crashBefore&(1<<uint(i)) != 0 {
+				faults.CrashBeforeVote[i] = true
+			} else if crashAfter&(1<<uint(i)) != 0 {
+				faults.CrashAfterVote[i] = true
+			}
+		}
+		switch coordFault % 4 {
+		case 1:
+			faults.CoordCrashAfterPrepare = true
+		case 2:
+			faults.CoordCrashAfterLog = true
+		case 3:
+			faults.CoordCrashMidBroadcast = true
+		}
+		p := New(n)
+		out := p.Run(votes, faults)
+		if err := CheckAtomicity(votes, out); err != nil {
+			return false
+		}
+		// Full recovery: coordinator first, then participants.
+		out = p.RecoverCoordinator()
+		for i := 0; i < n; i++ {
+			out = p.RecoverParticipant(i)
+		}
+		if err := CheckAtomicity(votes, out); err != nil {
+			return false
+		}
+		// After full recovery nobody is pending or blocked.
+		if len(out.Blocked) != 0 {
+			return false
+		}
+		for _, d := range out.Participants {
+			if d == DecisionPending {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckAtomicityDetectsViolations(t *testing.T) {
+	// Divergent participants.
+	out := Outcome{Participants: []Decision{DecisionCommit, DecisionAbort}}
+	if err := CheckAtomicity(yes(2), out); err == nil {
+		t.Errorf("divergence not detected")
+	}
+	// Commit despite a No vote.
+	out = Outcome{Coordinator: DecisionCommit, Participants: []Decision{DecisionCommit, DecisionCommit}}
+	if err := CheckAtomicity([]Vote{VoteYes, VoteNo}, out); err == nil {
+		t.Errorf("invalid commit not detected")
+	}
+	// Coordinator/participant disagreement.
+	out = Outcome{Coordinator: DecisionAbort, Participants: []Decision{DecisionCommit}}
+	if err := CheckAtomicity(yes(1), out); err == nil {
+		t.Errorf("coordinator disagreement not detected")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero":  func() { New(0) },
+		"votes": func() { New(2).Run(yes(3), Faults{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if DecisionCommit.String() != "commit" || DecisionAbort.String() != "abort" || DecisionPending.String() != "pending" {
+		t.Errorf("Decision strings wrong")
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/specs"
+)
+
+// Account constraint names.
+const (
+	ConstraintA1 = "A1"
+	ConstraintA2 = "A2"
+)
+
+// AccountUniverse returns the constraint universe {A₁, A₂} of
+// Section 3.4.
+func AccountUniverse() *lattice.Universe {
+	return lattice.NewUniverse(
+		lattice.Constraint{Name: ConstraintA1, Desc: "every initial Debit quorum intersects every final Credit quorum"},
+		lattice.Constraint{Name: ConstraintA2, Desc: "every initial Debit quorum intersects every final Debit quorum"},
+	)
+}
+
+// AccountLattice returns the bank's relaxation lattice of Section 3.4,
+// defined over the sublattice of 2^{A₁,A₂} that always contains A₂:
+// the bank may relax A₁ (tolerating spurious bounces from premature
+// debits) but never A₂ (which would permit overdrafts).
+func AccountLattice() *lattice.Relaxation {
+	u := AccountUniverse()
+	return &lattice.Relaxation{
+		Name:     "replicated-bank-account",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			if !s.Has(u.Index(ConstraintA2)) {
+				return nil, false // outside the sublattice
+			}
+			if s.Has(u.Index(ConstraintA1)) {
+				return specs.BankAccount(), true
+			}
+			return specs.SpuriousAccount(), true
+		},
+	}
+}
+
+// AccountLatticeUnrestricted extends the account lattice over the full
+// powerset, assigning the overdraft-permitting behavior to sets missing
+// A₂ — the behavior the bank's sublattice restriction exists to forbid.
+func AccountLatticeUnrestricted() *lattice.Relaxation {
+	u := AccountUniverse()
+	return &lattice.Relaxation{
+		Name:     "replicated-bank-account-unrestricted",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			a1 := s.Has(u.Index(ConstraintA1))
+			a2 := s.Has(u.Index(ConstraintA2))
+			switch {
+			case a1 && a2:
+				return specs.BankAccount(), true
+			case a2:
+				return specs.SpuriousAccount(), true
+			default:
+				return specs.OverdraftAccount(), true
+			}
+		},
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/specs"
+)
+
+// ConstraintCk returns the name of constraint C_k of Section 4.2: "no
+// more than k active transactions have executed Deq operations".
+func ConstraintCk(k int) string { return fmt.Sprintf("C%d", k) }
+
+// SpoolUniverse returns the constraint universe {C₁..C_n}.
+func SpoolUniverse(n int) *lattice.Universe {
+	if n < 1 {
+		panic(fmt.Sprintf("core: spool universe size %d", n))
+	}
+	cs := make([]lattice.Constraint, n)
+	for i := range cs {
+		cs[i] = lattice.Constraint{
+			Name: ConstraintCk(i + 1),
+			Desc: fmt.Sprintf("no more than %d active transactions have executed Deq operations", i+1),
+		}
+	}
+	return lattice.NewUniverse(cs...)
+}
+
+// lowestIndex returns the 1-based index of the lowest constraint in the
+// set (the k of the strongest C_k present), per the lattice
+// homomorphism of Section 4.2.1: φ(B) = Semiqueue_k where C_k is the
+// element of B with the lowest index.
+func lowestIndex(s lattice.Set) (int, bool) {
+	idx := s.Indexes()
+	if len(idx) == 0 {
+		return 0, false
+	}
+	return idx[0] + 1, true
+}
+
+// SemiqueueLattice returns the optimistic spooler's relaxation lattice
+// of Section 4.2.1 over n constraints: φ is defined over the sublattice
+// of nonempty constraint sets, mapping B to Semiqueue_k for the lowest
+// index k in B. Figure 4-2 is SemiqueueLattice(3).Levels().
+func SemiqueueLattice(n int) *lattice.Relaxation {
+	return &lattice.Relaxation{
+		Name:     "semiqueue-spooler",
+		Universe: SpoolUniverse(n),
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			k, ok := lowestIndex(s)
+			if !ok {
+				return nil, false
+			}
+			return specs.Semiqueue(k), true
+		},
+	}
+}
+
+// StutteringLattice returns the pessimistic spooler's relaxation
+// lattice of Section 4.2.2: φ(B) = Stuttering_j Queue for the lowest
+// index j in B.
+func StutteringLattice(n int) *lattice.Relaxation {
+	return &lattice.Relaxation{
+		Name:     "stuttering-spooler",
+		Universe: SpoolUniverse(n),
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			j, ok := lowestIndex(s)
+			if !ok {
+				return nil, false
+			}
+			return specs.StutteringQueue(j), true
+		},
+	}
+}
+
+// CombinedSpoolLattice returns the single lattice combining both
+// behaviors (Section 4.2.2): φ(B) = SSqueue_kk for the lowest index k —
+// under at most k concurrent dequeuers of mixed strategy, any of the
+// first k items may be returned as many as k times. SSqueue₁₁ at the
+// top is the FIFO queue.
+func CombinedSpoolLattice(n int) *lattice.Relaxation {
+	return &lattice.Relaxation{
+		Name:     "combined-spooler",
+		Universe: SpoolUniverse(n),
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			k, ok := lowestIndex(s)
+			if !ok {
+				return nil, false
+			}
+			return specs.SSQueue(k, k), true
+		},
+	}
+}

@@ -1,0 +1,188 @@
+// Package env implements the environment model of Section 2.3: the
+// environment automaton ⟨2^C, c₀, EVENT, δ_E⟩ whose state is the set of
+// constraints currently satisfied, the combined automaton that
+// interleaves environment events with object operations, and the
+// probabilistic environment models the paper interfaces to (Section 2.3
+// last paragraph, and the worked example at the end of Section 3.3).
+package env
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/value"
+)
+
+// Event is an environment event: a site crash, a communication failure,
+// a recovery, a premature debit, a transaction commit — anything that
+// changes which constraints hold. Events may coincide with object
+// operations (Sections 3.4, 4.2); Matches reports whether an operation
+// execution is also this event.
+type Event struct {
+	// Name identifies the event, e.g. "crash(S1)".
+	Name string
+	// Matches reports whether op is an occurrence of this event. A nil
+	// Matches means the event is disjoint from the object's operations
+	// (as in the replicated priority queue of Section 3.3).
+	Matches func(op history.Op) bool
+}
+
+// Environment is the environment automaton: a deterministic transition
+// system over constraint sets.
+type Environment struct {
+	// Universe is the constraint universe C shared with the relaxation
+	// lattice.
+	Universe *lattice.Universe
+	// Init is c₀, the initial constraint state.
+	Init lattice.Set
+	// Events is the input alphabet EVENT.
+	Events []Event
+	// Delta is δ_E: 2^C × EVENT → 2^C. Unlike object automata it maps to
+	// a single state.
+	Delta func(c lattice.Set, e Event) lattice.Set
+}
+
+// Apply runs one event through δ_E.
+func (env *Environment) Apply(c lattice.Set, e Event) lattice.Set {
+	return env.Delta(c, e)
+}
+
+// Run folds a sequence of events from the initial state.
+func (env *Environment) Run(events ...Event) lattice.Set {
+	c := env.Init
+	for _, e := range events {
+		c = env.Delta(c, e)
+	}
+	return c
+}
+
+// CombinedState is the state of the combined automaton of Section 2.3:
+// the environment's constraint set paired with the object state.
+type CombinedState struct {
+	C lattice.Set
+	S value.Value
+}
+
+// Key returns the canonical encoding.
+func (cs CombinedState) Key() string {
+	return fmt.Sprintf("env{%b}+%s", uint64(cs.C), cs.S.Key())
+}
+
+// String renders the pair.
+func (cs CombinedState) String() string {
+	return fmt.Sprintf("(c=%b, s=%s)", uint64(cs.C), cs.S)
+}
+
+// Input is one input to the combined automaton: an environment event,
+// an object operation, or (when the alphabets overlap) both at once.
+type Input struct {
+	// Event is the environment event, if any.
+	Event *Event
+	// Op is the object operation execution, if any.
+	Op *history.Op
+}
+
+// EventInput wraps a pure environment event.
+func EventInput(e Event) Input { return Input{Event: &e} }
+
+// OpInput wraps a pure object operation, consulting the environment's
+// event list for an overlapping event (δ₁ of Section 2.3: if the input
+// is both an event and an operation, the environment changes before the
+// transition function is selected).
+func (env *Environment) OpInput(op history.Op) Input {
+	in := Input{Op: &op}
+	for i := range env.Events {
+		e := env.Events[i]
+		if e.Matches != nil && e.Matches(op) {
+			in.Event = &e
+			break
+		}
+	}
+	return in
+}
+
+// Combined is the single automaton of Section 2.3 accepting interleaved
+// events and operations: ⟨2^C × STATE, (c₀, s₀), EVENT ∪ OP, δ⟩ with
+// δ₁ updating the constraint state and δ₂ stepping the object under the
+// automaton φ selects for the *new* constraint state.
+type Combined struct {
+	Env *Environment
+	Lat *lattice.Relaxation
+}
+
+// Init returns (c₀, s₀). The object's initial state comes from the
+// preferred behavior; every automaton in a lattice shares STATE and s₀
+// (Section 2.2).
+func (cm *Combined) Init() CombinedState {
+	return CombinedState{C: cm.Env.Init, S: cm.Lat.Preferred().Init()}
+}
+
+// Step applies one input. It returns the possible successor states, or
+// nil when the input is an operation rejected by the selected behavior
+// (or when φ is undefined at the new constraint state).
+func (cm *Combined) Step(cs CombinedState, in Input) []CombinedState {
+	c := cs.C
+	if in.Event != nil {
+		c = cm.Env.Delta(c, *in.Event) // δ₁: environment moves first
+	}
+	if in.Op == nil {
+		return []CombinedState{{C: c, S: cs.S}}
+	}
+	a, ok := cm.Lat.Phi(c)
+	if !ok {
+		return nil
+	}
+	next := a.Step(cs.S, *in.Op) // δ₂ under the selected behavior
+	out := make([]CombinedState, 0, len(next))
+	for _, s := range next {
+		out = append(out, CombinedState{C: c, S: s})
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Accepts runs a sequence of inputs from the initial state, tracking
+// the nondeterministic state set, and reports whether every operation
+// was accepted. It also returns the final constraint state.
+func (cm *Combined) Accepts(inputs []Input) (bool, lattice.Set) {
+	states := []CombinedState{cm.Init()}
+	c := cm.Env.Init
+	for _, in := range inputs {
+		seen := map[string]CombinedState{}
+		for _, cs := range states {
+			for _, next := range cm.Step(cs, in) {
+				seen[next.Key()] = next
+			}
+		}
+		if len(seen) == 0 {
+			return false, c
+		}
+		states = states[:0]
+		for _, cs := range seen {
+			states = append(states, cs)
+		}
+		c = states[0].C // δ₁ is deterministic: all successors share C
+	}
+	return true, c
+}
+
+// StaticEnvironment returns an environment frozen at constraint set c:
+// no events, δ_E the identity. Useful for exploring a single lattice
+// element with automaton tooling.
+func StaticEnvironment(u *lattice.Universe, c lattice.Set) *Environment {
+	return &Environment{
+		Universe: u,
+		Init:     c,
+		Delta:    func(s lattice.Set, _ Event) lattice.Set { return s },
+	}
+}
+
+// Freeze returns the object automaton the lattice exhibits at a fixed
+// constraint state, or false if φ is undefined there.
+func Freeze(lat *lattice.Relaxation, c lattice.Set) (automaton.Automaton, bool) {
+	return lat.Phi(c)
+}

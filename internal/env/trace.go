@@ -1,0 +1,103 @@
+package env
+
+import (
+	"fmt"
+	"strings"
+
+	"relaxlattice/internal/lattice"
+)
+
+// TraceStep records one input to the combined automaton: the constraint
+// state after δ₁ applied, and whether the operation component (if any)
+// was accepted by the behavior φ selected.
+type TraceStep struct {
+	Input    Input
+	C        lattice.Set
+	Accepted bool
+}
+
+// describe renders the input compactly.
+func (ts TraceStep) describe() string {
+	switch {
+	case ts.Input.Event != nil && ts.Input.Op != nil:
+		return fmt.Sprintf("%s/%s", ts.Input.Event.Name, ts.Input.Op)
+	case ts.Input.Event != nil:
+		return ts.Input.Event.Name
+	case ts.Input.Op != nil:
+		return ts.Input.Op.String()
+	default:
+		return "ε"
+	}
+}
+
+// Trace runs the inputs through the combined automaton, recording the
+// constraint state and acceptance at each step. Unlike Accepts it does
+// not stop at the first rejection: rejected operations leave the object
+// state unchanged (the environment still moves), so the trace shows the
+// whole degradation episode.
+func (cm *Combined) Trace(inputs []Input) []TraceStep {
+	states := []CombinedState{cm.Init()}
+	c := cm.Env.Init
+	out := make([]TraceStep, 0, len(inputs))
+	for _, in := range inputs {
+		seen := map[string]CombinedState{}
+		for _, cs := range states {
+			for _, next := range cm.Step(cs, in) {
+				seen[next.Key()] = next
+			}
+		}
+		accepted := len(seen) > 0
+		if accepted {
+			states = states[:0]
+			for _, cs := range seen {
+				states = append(states, cs)
+			}
+			c = states[0].C
+		} else {
+			// The environment component of the input still applies.
+			if in.Event != nil {
+				c = cm.Env.Delta(c, *in.Event)
+				for i := range states {
+					states[i].C = c
+				}
+			}
+		}
+		out = append(out, TraceStep{Input: in, C: c, Accepted: accepted})
+	}
+	return out
+}
+
+// Episode is a maximal run of consecutive steps sharing one constraint
+// state — the granularity at which an execution moves through the
+// relaxation lattice.
+type Episode struct {
+	C        lattice.Set
+	From, To int // step indexes, inclusive
+}
+
+// Episodes summarizes a trace into its constraint-state episodes.
+func Episodes(trace []TraceStep) []Episode {
+	var out []Episode
+	for i, st := range trace {
+		if i == 0 || st.C != out[len(out)-1].C {
+			out = append(out, Episode{C: st.C, From: i, To: i})
+			continue
+		}
+		out[len(out)-1].To = i
+	}
+	return out
+}
+
+// FormatTrace renders a trace with the universe's constraint names, one
+// step per line.
+func FormatTrace(u *lattice.Universe, trace []TraceStep) string {
+	var b strings.Builder
+	for i, st := range trace {
+		mark := "✓"
+		if !st.Accepted {
+			mark = "✗"
+		}
+		fmt.Fprintf(&b, "%3d %s %-30s %s\n", i, mark, st.describe(), u.Format(st.C))
+	}
+	return b.String()
+}

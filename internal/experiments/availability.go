@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E09",
+		Title: "Availability vs constraint relaxation under site failures",
+		Paper: "Sections 3.1, 3.3 (the availability/consistency trade-off)",
+		Run:   runAvailability,
+	})
+}
+
+// runAvailability quantifies the paper's motivating trade-off: the
+// weaker the quorum intersection constraints an assignment must
+// satisfy, the smaller its quorums and the higher the probability an
+// operation finds a quorum among the surviving sites. Analytic
+// (weighted-voting DP) and Monte-Carlo availabilities are reported per
+// lattice element for the Deq operation.
+func runAvailability(w io.Writer, cfg Config) error {
+	assigns := quorum.TaxiAssignments(cfg.Sites)
+	order := []string{"Q1Q2", "Q1", "Q2", "none"}
+	labels := map[string]string{
+		"Q1Q2": "{Q1,Q2} → PQueue",
+		"Q1":   "{Q1}    → MPQueue",
+		"Q2":   "{Q2}    → OPQueue",
+		"none": "∅       → DegenPQueue",
+	}
+	g := sim.NewRNG(cfg.Seed)
+	trials := cfg.Trials / 10
+	if trials < 1000 {
+		trials = 1000
+	}
+	// Relaxation chains of the lattice: availability must not decrease
+	// when moving down any chain.
+	chains := [][2]string{{"Q1Q2", "Q1"}, {"Q1Q2", "Q2"}, {"Q1", "none"}, {"Q2", "none"}}
+	for _, pUp := range []float64{0.5, 0.7, 0.9} {
+		fmt.Fprintf(w, "site-up probability %.1f over %d sites:\n", pUp, cfg.Sites)
+		t := sim.NewTable("lattice element", "Deq analytic", "Deq monte-carlo", "abs error", "Enq analytic", "Deq quorum (latency proxy)")
+		deqAvail := map[string]float64{}
+		for _, name := range order {
+			v := assigns[name]
+			analytic := v.Availability(history.NameDeq, pUp)
+			deqAvail[name] = analytic
+			var r sim.Ratio
+			for i := 0; i < trials; i++ {
+				alive := make([]bool, cfg.Sites)
+				for s := range alive {
+					alive[s] = g.Bool(pUp)
+				}
+				r.Observe(v.HasQuorum(history.NameDeq, alive))
+			}
+			dq, _ := v.Quorums(history.NameDeq)
+			need := dq.Initial
+			if dq.Final > need {
+				need = dq.Final
+			}
+			t.AddRow(labels[name], analytic, r.Value(), math.Abs(analytic-r.Value()),
+				v.Availability(history.NameEnq, pUp), fmt.Sprintf("%d of %d", need, cfg.Sites))
+		}
+		t.Render(w)
+		monotone := true
+		for _, ch := range chains {
+			if deqAvail[ch[1]] < deqAvail[ch[0]]-1e-9 {
+				monotone = false
+			}
+		}
+		strict := deqAvail["none"] > deqAvail["Q1Q2"]+1e-9
+		fmt.Fprintf(w, "Deq availability never falls along a relaxation chain: %s (∅ strictly beats {Q1,Q2}: %s)\n\n",
+			verdict(monotone), verdict(strict))
+	}
+	// Enq availability trade-off under Q1 (Section 3.3: shrinking one
+	// operation's quorums grows the other's).
+	fmt.Fprintln(w, "Q1 trade-off at pUp=0.7: shrinking Deq initial quorums forces larger Enq final quorums")
+	t := sim.NewTable("Enq final / Deq initial", "Enq availability", "Deq availability")
+	maj := cfg.Sites/2 + 1
+	for enqFinal := 1; enqFinal <= cfg.Sites; enqFinal++ {
+		deqInitial := cfg.Sites - enqFinal + 1 // minimal for Q1 intersection
+		if deqInitial < 1 {
+			deqInitial = 1
+		}
+		v := quorum.NewVoting(onesWeights(cfg.Sites), map[string]quorum.OpQuorums{
+			history.NameEnq: {Initial: 1, Final: enqFinal},
+			history.NameDeq: {Initial: deqInitial, Final: maj},
+		})
+		t.AddRow(
+			fmt.Sprintf("%d / %d", enqFinal, deqInitial),
+			v.Availability(history.NameEnq, 0.7),
+			v.Availability(history.NameDeq, 0.7),
+		)
+	}
+	t.Render(w)
+	return nil
+}
+
+func onesWeights(n int) []int {
+	ws := make([]int, n)
+	for i := range ws {
+		ws[i] = 1
+	}
+	return ws
+}

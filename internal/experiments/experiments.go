@@ -1,0 +1,97 @@
+// Package experiments regenerates every figure and formal claim of the
+// paper as a runnable experiment: the trait/interface figures as
+// executable checks, Theorem 4 and its companions as bounded language-
+// equivalence tables, the probabilistic example as a Monte-Carlo run,
+// the availability and latency trade-offs as simulations over the
+// cluster substrate, and Figures 4-2 and 5-1 as regenerated tables.
+// The per-experiment index lives in DESIGN.md; EXPERIMENTS.md records
+// paper-vs-measured output.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"relaxlattice/internal/core"
+)
+
+// Config parameterizes experiment runs. The zero value is not useful;
+// start from Default.
+type Config struct {
+	// Seed drives all randomness; same seed, same output.
+	Seed int64
+	// Bound is the history bound for language comparisons.
+	Bound core.Bound
+	// Trials is the Monte-Carlo sample count.
+	Trials int
+	// Sites is the replica count for cluster simulations.
+	Sites int
+}
+
+// Default returns the configuration used for EXPERIMENTS.md.
+func Default() Config {
+	return Config{
+		Seed:   1987, // the paper's year; any seed works
+		Bound:  core.Bound{MaxElem: 2, MaxLen: 6},
+		Trials: 200000,
+		Sites:  5,
+	}
+}
+
+// Experiment is one reproducible artifact.
+type Experiment struct {
+	// ID is the experiment identifier, e.g. "E04".
+	ID string
+	// Title summarizes the artifact.
+	Title string
+	// Paper cites the figure/section reproduced.
+	Paper string
+	// Run writes the regenerated table(s) to w.
+	Run func(w io.Writer, cfg Config) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// RunAll runs every experiment, writing a header per experiment.
+func RunAll(w io.Writer, cfg Config) error {
+	for _, e := range All() {
+		fmt.Fprintf(w, "== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
+		if err := e.Run(w, cfg); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// verdict renders a pass/fail marker.
+func verdict(ok bool) string {
+	if ok {
+		return "HOLDS"
+	}
+	return "FAILS"
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/core"
+)
+
+// fastConfig keeps experiment tests quick; the full configuration runs
+// from cmd/relaxctl and the benchmarks.
+func fastConfig() Config {
+	return Config{
+		Seed:   1987,
+		Bound:  core.Bound{MaxElem: 2, MaxLen: 5},
+		Trials: 20000,
+		Sites:  5,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
+		"E09", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "X01", "X02", "X03", "X04"}
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+		if all[i].Title == "" || all[i].Paper == "" || all[i].Run == nil {
+			t.Errorf("%s incomplete", id)
+		}
+	}
+	if _, ok := Find("E04"); !ok {
+		t.Errorf("Find(E04) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Errorf("Find(nope) succeeded")
+	}
+}
+
+// Each experiment runs without error and declares every checked claim
+// to hold.
+func TestAllExperimentsHold(t *testing.T) {
+	cfg := fastConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, cfg); err != nil {
+				t.Fatalf("%s: %v\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if strings.Contains(out, "FAILS") {
+				t.Errorf("%s reported a failing claim:\n%s", e.ID, out)
+			}
+			if len(out) < 40 {
+				t.Errorf("%s output suspiciously short: %q", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	cfg := fastConfig()
+	// Trim the heavyweight settings further for the full sweep.
+	cfg.Trials = 5000
+	cfg.Bound.MaxLen = 4
+	var buf bytes.Buffer
+	if err := RunAll(&buf, cfg); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E01", "E08", "E16"} {
+		if !strings.Contains(out, "== "+id) {
+			t.Errorf("missing header for %s", id)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default()
+	if cfg.Trials < 10000 || cfg.Sites < 3 || cfg.Bound.MaxLen < 5 {
+		t.Errorf("default config too small: %+v", cfg)
+	}
+}
+
+// Determinism: identical configs produce byte-identical output for the
+// randomized experiments.
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 5000
+	for _, id := range []string{"E08", "E09", "E10"} {
+		e, _ := Find(id)
+		var a, b bytes.Buffer
+		if err := e.Run(&a, cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := e.Run(&b, cfg); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s output differs across runs with same seed", id)
+		}
+	}
+}
+
+func TestVerdict(t *testing.T) {
+	if verdict(true) != "HOLDS" || verdict(false) != "FAILS" {
+		t.Errorf("verdict strings wrong")
+	}
+}

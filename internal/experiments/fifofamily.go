@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/specs"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "X01",
+		Title: "Extension — the FIFO family: Section 3.1's replicated queue through the Section 3.3 program",
+		Paper: "Section 3.1 (motivating example), by analogy with Theorem 4",
+		Run:   runFIFOFamily,
+	})
+}
+
+// runFIFOFamily carries the paper's motivating replicated FIFO queue
+// through the full relaxation-lattice treatment the paper gives the
+// priority queue, including the Theorem 4 analog
+// L(QCA(FifoQueue, Q₁, η_fifo)) = L(MFQueue).
+func runFIFOFamily(w io.Writer, cfg Config) error {
+	fmt.Fprintln(w, "lattice element equivalences (bounded model checking):")
+	for _, r := range core.CheckFIFOFamily(cfg.Bound) {
+		fmt.Fprintf(w, "  %-28s L(%s) = L(%s): %s\n", r.Name+":", r.LHS, r.RHS, verdict(r.Holds()))
+		if !r.Holds() {
+			fmt.Fprintf(w, "    counterexamples: onlyLHS=%v onlyRHS=%v\n", r.Compare.OnlyA, r.Compare.OnlyB)
+		}
+	}
+	if err := claimTable(w, core.CheckFIFOTheorem(cfg.Bound)); err != nil {
+		return err
+	}
+	depLen := cfg.Bound.MaxLen - 2
+	if depLen < 3 {
+		depLen = 3
+	}
+	alphabet := history.QueueAlphabet(cfg.Bound.MaxElem)
+	okQ, _ := quorum.IsSerialDependency(specs.FIFOQueue(), quorum.Q1().Union(quorum.Q2()), alphabet, depLen)
+	fmt.Fprintf(w, "{Q1,Q2} is a serial dependency relation for FifoQueue: %s\n", verdict(okQ))
+	okM, _ := quorum.IsSerialDependency(specs.MultiFIFOQueue(), quorum.Q1(), alphabet, depLen)
+	fmt.Fprintf(w, "Q1 is a serial dependency relation for MFQueue (lemma): %s\n", verdict(okM))
+	return nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxlattice/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "X04",
+		Title: "Extension — latency is the cost of quorum size: k-th order statistics of site round trips",
+		Paper: "Section 3.4 (the account's cost is latency: 'the larger an operation's quorums, the longer it takes to execute')",
+		Run:   runLatency,
+	})
+}
+
+// runLatency quantifies the paper's latency claim: an operation that
+// must assemble a quorum of k out of n sites waits for the k-th
+// fastest response. With i.i.d. exponential site round trips (mean 1),
+// the expected wait is the k-th order statistic
+// E[T_(k)] = Σ_{i=0}^{k-1} 1/(n-i); growing an operation's quorums
+// (to strengthen intersection constraints) directly grows its latency.
+func runLatency(w io.Writer, cfg Config) error {
+	const n = 5
+	g := sim.NewRNG(cfg.Seed)
+	trials := cfg.Trials / 10
+	if trials < 2000 {
+		trials = 2000
+	}
+	t := sim.NewTable("quorum size k (of 5)", "analytic mean wait", "measured mean", "measured p95", "constraint bought")
+	bought := map[int]string{
+		1: "none (fully relaxed ops)",
+		2: "Q1 with Enq-final=4 (Deq may miss other Deqs)",
+		3: "Q1 ∧ Q2 (one-copy serializability)",
+		4: "larger final quorums (faster propagation)",
+		5: "read-anything/write-everything",
+	}
+	for k := 1; k <= n; k++ {
+		analytic := 0.0
+		for i := 0; i < k; i++ {
+			analytic += 1.0 / float64(n-i)
+		}
+		var h sim.Histogram
+		rtts := make([]float64, n)
+		for trial := 0; trial < trials; trial++ {
+			for s := range rtts {
+				rtts[s] = g.Exp(1.0)
+			}
+			h.Observe(kthSmallest(rtts, k))
+		}
+		diff := h.Mean() - analytic
+		if diff < 0 {
+			diff = -diff
+		}
+		t.AddRow(k, analytic, h.Mean(), h.Quantile(0.95), bought[k])
+		if diff > 0.05 {
+			t.Render(w)
+			return fmt.Errorf("measured mean %.3f deviates from analytic %.3f at k=%d", h.Mean(), analytic, k)
+		}
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "order-statistic means match analytic values: HOLDS")
+	fmt.Fprintln(w, "moving up the lattice (stronger constraints → larger quorums) pays in")
+	fmt.Fprintln(w, "exactly these waits; the ATM's trick (announce after the first update,")
+	fmt.Fprintln(w, "grow final quorums in the background) moves the k-1 remaining waits off")
+	fmt.Fprintln(w, "the customer's critical path at the price of premature-debit bounces (E10).")
+	return nil
+}
+
+// kthSmallest returns the k-th smallest (1-based) of xs without
+// mutating it.
+func kthSmallest(xs []float64, k int) float64 {
+	buf := append([]float64(nil), xs...)
+	// Selection by partial sort; n is tiny.
+	for i := 0; i < k; i++ {
+		min := i
+		for j := i + 1; j < len(buf); j++ {
+			if buf[j] < buf[min] {
+				min = j
+			}
+		}
+		buf[i], buf[min] = buf[min], buf[i]
+	}
+	return buf[k-1]
+}

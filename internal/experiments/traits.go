@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/sim"
+	"relaxlattice/internal/specs"
+	"relaxlattice/internal/value"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E01",
+		Title: "Bag trait and interfaces",
+		Paper: "Figures 2-1, 2-2",
+		Run:   runBagTrait,
+	})
+	register(Experiment{
+		ID:    "E02",
+		Title: "FIFO queue trait and interfaces",
+		Paper: "Figures 2-3, 2-4",
+		Run:   runFifoTrait,
+	})
+	register(Experiment{
+		ID:    "E03",
+		Title: "Priority queue trait and interfaces",
+		Paper: "Figures 3-1, 3-2",
+		Run:   runPQTrait,
+	})
+}
+
+// axiomTable checks each named randomized axiom over trials drawn from
+// the seeded generator and renders the results.
+func axiomTable(w io.Writer, cfg Config, axioms []struct {
+	Name  string
+	Check func(g *sim.RNG) bool
+}) error {
+	trials := cfg.Trials / 100
+	if trials < 1000 {
+		trials = 1000
+	}
+	t := sim.NewTable("axiom", "trials", "result")
+	for _, ax := range axioms {
+		g := sim.NewRNG(cfg.Seed)
+		ok := true
+		for i := 0; i < trials && ok; i++ {
+			ok = ax.Check(g)
+		}
+		t.AddRow(ax.Name, trials, verdict(ok))
+	}
+	t.Render(w)
+	return nil
+}
+
+func randBag(g *sim.RNG) value.Bag {
+	b := value.EmptyBag()
+	for i, n := 0, g.Intn(8); i < n; i++ {
+		b = b.Ins(value.Elem(g.Intn(6)))
+	}
+	return b
+}
+
+func randSeq(g *sim.RNG) value.Seq {
+	q := value.EmptySeq()
+	for i, n := 0, g.Intn(8); i < n; i++ {
+		q = q.Ins(value.Elem(g.Intn(6)))
+	}
+	return q
+}
+
+func runBagTrait(w io.Writer, cfg Config) error {
+	err := axiomTable(w, cfg, []struct {
+		Name  string
+		Check func(g *sim.RNG) bool
+	}{
+		{"del(emp,e) = emp", func(g *sim.RNG) bool {
+			return value.EmptyBag().Del(value.Elem(g.Intn(6))).IsEmp()
+		}},
+		{"del(ins(b,e),e1) case split", func(g *sim.RNG) bool {
+			b, e, e1 := randBag(g), value.Elem(g.Intn(6)), value.Elem(g.Intn(6))
+			lhs := b.Ins(e).Del(e1)
+			if e == e1 {
+				return lhs.Equal(b)
+			}
+			return lhs.Equal(b.Del(e1).Ins(e))
+		}},
+		{"isEmp(emp) ∧ ¬isEmp(ins(b,e))", func(g *sim.RNG) bool {
+			return value.EmptyBag().IsEmp() && !randBag(g).Ins(0).IsEmp()
+		}},
+		{"isIn(ins(b,e),e1) = (e=e1) ∨ isIn(b,e1)", func(g *sim.RNG) bool {
+			b, e, e1 := randBag(g), value.Elem(g.Intn(6)), value.Elem(g.Intn(6))
+			return b.Ins(e).IsIn(e1) == ((e == e1) || b.IsIn(e1))
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	// The interface automaton on the worked equation of Section 2.4.
+	worked := value.EmptyBag().Ins(3).Ins(3).Del(3).Equal(value.EmptyBag().Ins(3))
+	fmt.Fprintf(w, "del(ins(ins(emp,3),3),3) = ins(emp,3): %s\n", verdict(worked))
+	return acceptanceExamples(w, specs.BagAutomaton(), []string{
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)",
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)",
+	})
+}
+
+func runFifoTrait(w io.Writer, cfg Config) error {
+	err := axiomTable(w, cfg, []struct {
+		Name  string
+		Check func(g *sim.RNG) bool
+	}{
+		{"first(ins(q,e)) = if isEmp(q) then e else first(q)", func(g *sim.RNG) bool {
+			q, e := randSeq(g), value.Elem(g.Intn(6))
+			got, ok := q.Ins(e).First()
+			if !ok {
+				return false
+			}
+			if q.IsEmp() {
+				return got == e
+			}
+			want, _ := q.First()
+			return got == want
+		}},
+		{"rest(ins(q,e)) = if isEmp(q) then emp else ins(rest(q),e)", func(g *sim.RNG) bool {
+			q, e := randSeq(g), value.Elem(g.Intn(6))
+			lhs := q.Ins(e).Rest()
+			if q.IsEmp() {
+				return lhs.IsEmp()
+			}
+			return lhs.Equal(q.Rest().Ins(e))
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "first(ins(ins(emp,3),3)) = 3: %s\n", verdict(func() bool {
+		e, ok := value.EmptySeq().Ins(3).Ins(3).First()
+		return ok && e == 3
+	}()))
+	return acceptanceExamples(w, specs.FIFOQueue(), []string{
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(1)",
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)",
+	})
+}
+
+func runPQTrait(w io.Writer, cfg Config) error {
+	err := axiomTable(w, cfg, []struct {
+		Name  string
+		Check func(g *sim.RNG) bool
+	}{
+		{"best(ins(q,e)) case split", func(g *sim.RNG) bool {
+			q, e := randBag(g), value.Elem(g.Intn(6))
+			got, ok := q.Ins(e).Best()
+			if !ok {
+				return false
+			}
+			if q.IsEmp() {
+				return got == e
+			}
+			prev, _ := q.Best()
+			if e > prev {
+				return got == e
+			}
+			return got == prev
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	return acceptanceExamples(w, specs.PriorityQueue(), []string{
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(3)",
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(1)",
+	})
+}
+
+// acceptanceExamples renders an acceptance table for illustrative
+// histories.
+func acceptanceExamples(w io.Writer, a automaton.Automaton, examples []string) error {
+	t := sim.NewTable("history", "accepted by "+a.Name())
+	for _, s := range examples {
+		h, err := history.Parse(s)
+		if err != nil {
+			return err
+		}
+		t.AddRow(h.String(), automaton.Accepts(a, h))
+	}
+	t.Render(w)
+	return nil
+}

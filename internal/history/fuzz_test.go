@@ -1,0 +1,47 @@
+package history
+
+import "testing"
+
+// FuzzParseOp checks that ParseOp never panics and that anything it
+// accepts round-trips through String.
+func FuzzParseOp(f *testing.F) {
+	for _, seed := range []string{
+		"Enq(1)/Ok()", "Deq()/Ok(2)", "Debit(3)/Over()", "X(1,2)/T(3,4)",
+		"", "(", "a/b", "Enq(1)/", "Enq(x)/Ok()", "Enq(1)Ok()",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		op, err := ParseOp(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", op.String(), err)
+		}
+		if !back.Equal(op) {
+			t.Fatalf("round trip changed op: %v vs %v", op, back)
+		}
+	})
+}
+
+// FuzzParseHistory likewise for whole histories.
+func FuzzParseHistory(f *testing.F) {
+	f.Add("Enq(1)/Ok() Deq()/Ok(1)")
+	f.Add("Λ")
+	f.Add("Enq(1)/Ok() · Enq(2)/Ok()")
+	f.Fuzz(func(t *testing.T, s string) {
+		h, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(h.String())
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", h.String(), err)
+		}
+		if !back.Equal(h) {
+			t.Fatalf("round trip changed history")
+		}
+	})
+}

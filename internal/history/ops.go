@@ -1,0 +1,79 @@
+package history
+
+// Constructors for the operation executions of the data types studied in
+// the paper: queues (Enq/Deq) and bank accounts (Credit/Debit). Keeping
+// these in one place makes specs, tests, and experiments read like the
+// paper's notation.
+
+// Operation and event names shared across the library.
+const (
+	NameEnq    = "Enq"
+	NameDeq    = "Deq"
+	NameCredit = "Credit"
+	NameDebit  = "Debit"
+	NameCommit = "Commit"
+	NameAbort  = "Abort"
+)
+
+// Enq returns Enq(e)/Ok().
+func Enq(e int) Op {
+	return Op{Name: NameEnq, Args: []int{e}, Term: Ok}
+}
+
+// DeqOk returns Deq()/Ok(e).
+func DeqOk(e int) Op {
+	return Op{Name: NameDeq, Term: Ok, Res: []int{e}}
+}
+
+// DeqInv returns the invocation Deq().
+func DeqInv() Invocation {
+	return Invocation{Name: NameDeq}
+}
+
+// EnqInv returns the invocation Enq(e).
+func EnqInv(e int) Invocation {
+	return Invocation{Name: NameEnq, Args: []int{e}}
+}
+
+// Credit returns Credit(n)/Ok().
+func Credit(n int) Op {
+	return Op{Name: NameCredit, Args: []int{n}, Term: Ok}
+}
+
+// DebitOk returns Debit(n)/Ok().
+func DebitOk(n int) Op {
+	return Op{Name: NameDebit, Args: []int{n}, Term: Ok}
+}
+
+// DebitOver returns Debit(n)/Over(), the overdraft exception.
+func DebitOver(n int) Op {
+	return Op{Name: NameDebit, Args: []int{n}, Term: Over}
+}
+
+// QueueAlphabet returns every Enq and Deq execution over the element
+// domain {1..maxElem}: Enq(e)/Ok() and Deq()/Ok(e) for each e. This is
+// the input alphabet used by bounded language checks for the queue
+// family of specifications.
+func QueueAlphabet(maxElem int) []Op {
+	ops := make([]Op, 0, 2*maxElem)
+	for e := 1; e <= maxElem; e++ {
+		ops = append(ops, Enq(e))
+	}
+	for e := 1; e <= maxElem; e++ {
+		ops = append(ops, DeqOk(e))
+	}
+	return ops
+}
+
+// AccountAlphabet returns Credit and Debit executions (both outcomes)
+// over amounts {1..maxAmount}.
+func AccountAlphabet(maxAmount int) []Op {
+	ops := make([]Op, 0, 3*maxAmount)
+	for n := 1; n <= maxAmount; n++ {
+		ops = append(ops, Credit(n))
+	}
+	for n := 1; n <= maxAmount; n++ {
+		ops = append(ops, DebitOk(n), DebitOver(n))
+	}
+	return ops
+}

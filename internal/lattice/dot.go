@@ -1,0 +1,79 @@
+package lattice
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the relaxation lattice's Hasse diagram in Graphviz DOT
+// format: one node per constraint set in φ's domain (labeled with the
+// set and its behavior), with an edge from each set to every maximal
+// proper subset in the domain (covering relation), strongest at the
+// top.
+func (r *Relaxation) DOT() string {
+	domain := r.Domain()
+	inDomain := map[Set]bool{}
+	for _, s := range domain {
+		inDomain[s] = true
+	}
+	ids := map[Set]int{}
+	for i, s := range domain {
+		ids[s] = i
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", r.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, s := range domain {
+		a, _ := r.Phi(s)
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%s\"];\n", ids[s], r.Universe.Format(s), a.Name())
+	}
+	for _, s := range domain {
+		for _, t := range covers(s, domain) {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", ids[s], ids[t])
+		}
+	}
+	// Rank sets of equal size together so the drawing is layered.
+	bySize := map[int][]Set{}
+	for _, s := range domain {
+		bySize[s.Size()] = append(bySize[s.Size()], s)
+	}
+	var sizes []int
+	for n := range bySize {
+		sizes = append(sizes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for _, n := range sizes {
+		var names []string
+		for _, s := range bySize[n] {
+			names = append(names, fmt.Sprintf("n%d", ids[s]))
+		}
+		fmt.Fprintf(&b, "  { rank=same; %s }\n", strings.Join(names, "; "))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// covers returns the sets t ⊂ s in the domain with no u in the domain
+// strictly between them — the Hasse covering relation.
+func covers(s Set, domain []Set) []Set {
+	var out []Set
+	for _, t := range domain {
+		if t == s || !t.SubsetOf(s) {
+			continue
+		}
+		covered := true
+		for _, u := range domain {
+			if u != s && u != t && t.SubsetOf(u) && u.SubsetOf(s) {
+				covered = false
+				break
+			}
+		}
+		if covered {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,38 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatticeDOT(t *testing.T) {
+	r := ssqLattice()
+	dot := r.DOT()
+	if !strings.HasPrefix(dot, "digraph \"ssq-demo\"") {
+		t.Errorf("header: %q", dot[:40])
+	}
+	for _, want := range []string{"{J, K}", "SSqueue_1_1", "SSqueue_2_2", "rank=same"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// The diamond has 4 covering edges: top→{J}, top→{K}, {J}→∅, {K}→∅.
+	if got := strings.Count(dot, "->"); got != 4 {
+		t.Errorf("covering edges = %d, want 4\n%s", got, dot)
+	}
+	if r.DOT() != dot {
+		t.Errorf("not deterministic")
+	}
+}
+
+func TestCoversSkipsTransitive(t *testing.T) {
+	domain := []Set{SetOf(0, 1, 2), SetOf(0, 1), SetOf(0), Empty}
+	got := covers(SetOf(0, 1, 2), domain)
+	if len(got) != 1 || got[0] != SetOf(0, 1) {
+		t.Errorf("covers = %v", got)
+	}
+	got = covers(Empty, domain)
+	if len(got) != 0 {
+		t.Errorf("bottom covers = %v", got)
+	}
+}

@@ -1,0 +1,68 @@
+package lattice_test
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/specs"
+)
+
+// Build the relaxation lattice of Section 4.2.1 and audit an observed
+// execution for degradation.
+func Example() {
+	u := lattice.NewUniverse(
+		lattice.Constraint{Name: "C1", Desc: "≤1 concurrent dequeuer"},
+		lattice.Constraint{Name: "C2", Desc: "≤2 concurrent dequeuers"},
+	)
+	lat := &lattice.Relaxation{
+		Name:     "spooler",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			switch {
+			case s.Has(0):
+				return specs.Semiqueue(1), true // FIFO
+			case s.Has(1):
+				return specs.Semiqueue(2), true
+			default:
+				return nil, false // sublattice: some constraint must hold
+			}
+		},
+	}
+
+	fmt.Println("preferred:", lat.Preferred().Name())
+
+	// Two printers collided: file 2 printed before file 1.
+	h := history.History{
+		history.Enq(1), history.Enq(2),
+		history.DeqOk(2), history.DeqOk(1),
+	}
+	sets, _ := lat.WeakestAccepting(h)
+	for _, s := range sets {
+		a, _ := lat.Phi(s)
+		fmt.Printf("degraded to %s under %s\n", a.Name(), u.Format(s))
+	}
+	// Output:
+	// preferred: Semiqueue_1
+	// degraded to Semiqueue_2 under {C2}
+}
+
+// Verify that relaxing constraints only ever adds behaviors.
+func ExampleRelaxation_VerifyMonotone() {
+	u := lattice.NewUniverse(lattice.Constraint{Name: "K", Desc: "no reordering"})
+	lat := &lattice.Relaxation{
+		Name:     "demo",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			if s.Has(0) {
+				return specs.FIFOQueue(), true
+			}
+			return specs.BagAutomaton(), true
+		},
+	}
+	violations := lat.VerifyMonotone(history.QueueAlphabet(2), 4)
+	fmt.Println("violations:", len(violations))
+	// Output:
+	// violations: 0
+}

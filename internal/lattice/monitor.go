@@ -1,0 +1,132 @@
+package lattice
+
+import (
+	"sort"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// Monitor tracks an execution's position in a relaxation lattice
+// online: each operation advances every still-viable lattice element's
+// automaton, and Current reports the strongest elements whose behavior
+// accepts the history so far. Feeding operations is incremental —
+// unlike Relaxation.WeakestAccepting it does not replay the history —
+// so a Monitor can run alongside a live system as a degradation alarm.
+type Monitor struct {
+	lat    *Relaxation
+	alive  map[Set][]value.Value
+	length int
+}
+
+// NewMonitor starts a monitor at the empty history (every element of
+// φ's domain is viable).
+func NewMonitor(lat *Relaxation) *Monitor {
+	m := &Monitor{lat: lat, alive: map[Set][]value.Value{}}
+	for _, s := range lat.Domain() {
+		a, _ := lat.Phi(s)
+		m.alive[s] = []value.Value{a.Init()}
+	}
+	return m
+}
+
+// Feed advances the monitor by one operation execution. It returns
+// true while at least one lattice element still accepts the history.
+// Elements that reject the extended history are discarded permanently
+// (languages are prefix-closed, so they can never recover).
+func (m *Monitor) Feed(op history.Op) bool {
+	m.length++
+	for s, states := range m.alive {
+		a, _ := m.lat.Phi(s)
+		next := map[string]value.Value{}
+		for _, st := range states {
+			for _, st2 := range a.Step(st, op) {
+				next[st2.Key()] = st2
+			}
+		}
+		if len(next) == 0 {
+			delete(m.alive, s)
+			continue
+		}
+		keys := make([]string, 0, len(next))
+		for k := range next {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		updated := make([]value.Value, len(keys))
+		for i, k := range keys {
+			updated[i] = next[k]
+		}
+		m.alive[s] = updated
+	}
+	return len(m.alive) > 0
+}
+
+// FeedAll feeds a whole history, returning false at the first operation
+// that kills every element (remaining operations are not consumed).
+func (m *Monitor) FeedAll(h history.History) bool {
+	for _, op := range h {
+		if !m.Feed(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of operations fed.
+func (m *Monitor) Len() int { return m.length }
+
+// Viable reports whether element s still accepts the history.
+func (m *Monitor) Viable(s Set) bool {
+	_, ok := m.alive[s]
+	return ok
+}
+
+// Current returns the maximal viable constraint sets — the strongest
+// behaviors consistent with everything observed so far. It returns nil
+// when nothing in the lattice accepts the history.
+func (m *Monitor) Current() []Set {
+	var maximal []Set
+	for s := range m.alive {
+		dominated := false
+		for t := range m.alive {
+			if s != t && s.SubsetOf(t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, s)
+		}
+	}
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i] < maximal[j] })
+	return maximal
+}
+
+// Degraded reports whether the preferred behavior (the lattice top) has
+// been lost.
+func (m *Monitor) Degraded() bool {
+	return !m.Viable(m.lat.Universe.All())
+}
+
+// Census tallies, over a corpus of observed histories, how many land on
+// each lattice element as their strongest accepting constraint set —
+// fleet-level degradation reporting. Histories outside the lattice are
+// counted under the second return value. When a history has several
+// incomparable maximal elements, each is counted (so totals can exceed
+// the corpus size).
+func Census(lat *Relaxation, corpus []history.History) (map[Set]int, int) {
+	counts := map[Set]int{}
+	rejected := 0
+	for _, h := range corpus {
+		sets, ok := lat.WeakestAccepting(h)
+		if !ok {
+			rejected++
+			continue
+		}
+		for _, s := range sets {
+			counts[s]++
+		}
+	}
+	return counts, rejected
+}

@@ -1,0 +1,116 @@
+package lattice
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+func TestMonitorTracksDegradation(t *testing.T) {
+	lat := ssqLattice()
+	m := NewMonitor(lat)
+	if m.Degraded() {
+		t.Fatalf("fresh monitor already degraded")
+	}
+	if cur := m.Current(); len(cur) != 1 || cur[0] != lat.Universe.All() {
+		t.Fatalf("initial Current = %v", cur)
+	}
+	// FIFO operations keep the top viable.
+	if !m.Feed(history.Enq(1)) || !m.Feed(history.Enq(2)) || !m.Feed(history.DeqOk(1)) {
+		t.Fatalf("monitor died on FIFO ops")
+	}
+	if m.Degraded() {
+		t.Errorf("degraded on FIFO history")
+	}
+	// A duplicate return kills J (and the top).
+	if !m.Feed(history.DeqOk(1)) {
+		t.Fatalf("monitor died entirely")
+	}
+	if !m.Degraded() {
+		t.Errorf("duplicate not detected")
+	}
+	cur := m.Current()
+	if len(cur) != 1 || cur[0] != lat.Universe.Named("K") {
+		t.Errorf("Current = %v, want {K}", cur)
+	}
+	if m.Viable(lat.Universe.All()) || !m.Viable(lat.Universe.Named("K")) {
+		t.Errorf("viability wrong")
+	}
+	if m.Len() != 4 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+// The monitor agrees with the offline audit at every prefix.
+func TestMonitorMatchesWeakestAccepting(t *testing.T) {
+	lat := ssqLattice()
+	h := history.History{
+		history.Enq(1), history.Enq(2), history.DeqOk(2), // reorder: drop O
+		history.Enq(3), history.DeqOk(1), history.DeqOk(1), // duplicate: drop D too
+	}
+	m := NewMonitor(lat)
+	for i, op := range h {
+		if !m.Feed(op) {
+			t.Fatalf("monitor died at %d", i)
+		}
+		prefix := h.Prefix(i + 1)
+		want, ok := lat.WeakestAccepting(prefix)
+		if !ok {
+			t.Fatalf("offline audit rejected prefix %v", prefix)
+		}
+		got := m.Current()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: monitor %v vs offline %v", i, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Errorf("step %d: monitor %v vs offline %v", i, got, want)
+			}
+		}
+	}
+}
+
+func TestMonitorDeathAndFeedAll(t *testing.T) {
+	lat := ssqLattice()
+	m := NewMonitor(lat)
+	// Dequeuing a never-enqueued element kills every element.
+	if m.Feed(history.DeqOk(9)) {
+		t.Fatalf("impossible op survived")
+	}
+	if cur := m.Current(); cur != nil {
+		t.Errorf("Current after death = %v", cur)
+	}
+	// FeedAll stops at the killing op.
+	m2 := NewMonitor(lat)
+	ok := m2.FeedAll(history.History{history.Enq(1), history.DeqOk(9), history.Enq(2)})
+	if ok {
+		t.Fatalf("FeedAll should report death")
+	}
+	if m2.Len() != 2 {
+		t.Errorf("FeedAll consumed %d ops", m2.Len())
+	}
+	// FeedAll success path.
+	m3 := NewMonitor(lat)
+	if !m3.FeedAll(history.History{history.Enq(1), history.DeqOk(1)}) {
+		t.Errorf("FeedAll failed on legal history")
+	}
+}
+
+func TestCensus(t *testing.T) {
+	lat := ssqLattice()
+	corpus := []history.History{
+		{history.Enq(1), history.DeqOk(1)},                   // top
+		{history.Enq(1), history.Enq(2), history.DeqOk(2)},   // {J}
+		{history.Enq(1), history.DeqOk(1), history.DeqOk(1)}, // {K}
+		{history.Enq(1), history.DeqOk(1), history.DeqOk(1)}, // {K}
+		{history.DeqOk(9)}, // outside
+	}
+	counts, rejected := Census(lat, corpus)
+	if rejected != 1 {
+		t.Errorf("rejected = %d", rejected)
+	}
+	u := lat.Universe
+	if counts[u.All()] != 1 || counts[u.Named("J")] != 1 || counts[u.Named("K")] != 2 {
+		t.Errorf("counts = %v", counts)
+	}
+}

@@ -1,0 +1,80 @@
+package lattice
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+)
+
+// Product combines two relaxation lattices over a shared object into
+// one lattice whose constraint universe is the disjoint union of the
+// operands' universes and whose behavior at (S₁ ⊎ S₂) is
+// combine(φ₁(S₁), φ₂(S₂)). This generalizes the paper's observation
+// (Section 4.2.2) that the semiqueue and stuttering-queue behaviors
+// "can be combined within a single lattice" whose elements are the
+// SSqueue_jk behaviors.
+//
+// combine must be monotone in both arguments (weaker operand behaviors
+// yield a weaker combined behavior) for the product to remain a
+// relaxation lattice; VerifyMonotone checks the result as usual. The
+// product's φ is defined exactly where both operand φs are.
+func Product(name string, a, b *Relaxation, combine func(automaton.Automaton, automaton.Automaton) (automaton.Automaton, bool)) *Relaxation {
+	constraints := make([]Constraint, 0, a.Universe.Len()+b.Universe.Len())
+	for i := 0; i < a.Universe.Len(); i++ {
+		c := a.Universe.Constraint(i)
+		constraints = append(constraints, Constraint{
+			Name: prefixName(a.Name, c.Name),
+			Desc: c.Desc,
+		})
+	}
+	for i := 0; i < b.Universe.Len(); i++ {
+		c := b.Universe.Constraint(i)
+		constraints = append(constraints, Constraint{
+			Name: prefixName(b.Name, c.Name),
+			Desc: c.Desc,
+		})
+	}
+	u := NewUniverse(constraints...)
+	offset := a.Universe.Len()
+	return &Relaxation{
+		Name:     name,
+		Universe: u,
+		Phi: func(s Set) (automaton.Automaton, bool) {
+			var sa, sb Set
+			for _, i := range s.Indexes() {
+				if i < offset {
+					sa = sa.With(i)
+				} else {
+					sb = sb.With(i - offset)
+				}
+			}
+			aa, ok := a.Phi(sa)
+			if !ok {
+				return nil, false
+			}
+			ab, ok := b.Phi(sb)
+			if !ok {
+				return nil, false
+			}
+			return combine(aa, ab)
+		},
+	}
+}
+
+// prefixName disambiguates constraint names across operands; when the
+// operand lattices already use distinct names the prefix is dropped.
+func prefixName(latticeName, constraintName string) string {
+	if latticeName == "" {
+		return constraintName
+	}
+	return fmt.Sprintf("%s.%s", latticeName, constraintName)
+}
+
+// Intersection is a combine function for Product over automata with
+// identical operation alphabets: the combined behavior accepts exactly
+// the histories both operands accept (the language intersection).
+// It is always monotone, making Product(a, b, Intersection) a
+// relaxation lattice whenever a and b are.
+func Intersection(x, y automaton.Automaton) (automaton.Automaton, bool) {
+	return automaton.Intersect(fmt.Sprintf("%s ∩ %s", x.Name(), y.Name()), x, y), true
+}

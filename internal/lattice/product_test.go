@@ -1,0 +1,161 @@
+package lattice
+
+import (
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/specs"
+)
+
+// semiLat and stutLat are one-constraint lattices: the constraint held
+// means k (resp. j) is 1, relaxed means 2.
+func semiLat() *Relaxation {
+	u := NewUniverse(Constraint{Name: "K1", Desc: "≤1 concurrent dequeuer (ordering)"})
+	return &Relaxation{
+		Name:     "semi",
+		Universe: u,
+		Phi: func(s Set) (automaton.Automaton, bool) {
+			if s.Has(0) {
+				return specs.Semiqueue(1), true
+			}
+			return specs.Semiqueue(2), true
+		},
+	}
+}
+
+func stutLat() *Relaxation {
+	u := NewUniverse(Constraint{Name: "J1", Desc: "≤1 concurrent dequeuer (duplication)"})
+	return &Relaxation{
+		Name:     "stut",
+		Universe: u,
+		Phi: func(s Set) (automaton.Automaton, bool) {
+			if s.Has(0) {
+				return specs.StutteringQueue(1), true
+			}
+			return specs.StutteringQueue(2), true
+		},
+	}
+}
+
+func TestProductStructure(t *testing.T) {
+	p := Product("spool-product", semiLat(), stutLat(), Intersection)
+	if p.Universe.Len() != 2 {
+		t.Fatalf("universe size = %d", p.Universe.Len())
+	}
+	if p.Universe.Index("semi.K1") != 0 || p.Universe.Index("stut.J1") != 1 {
+		t.Errorf("constraint names: %v / %v", p.Universe.Constraint(0), p.Universe.Constraint(1))
+	}
+	top := p.Preferred()
+	if !strings.Contains(top.Name(), "∩") {
+		t.Errorf("top = %q", top.Name())
+	}
+	// Top = Semiqueue_1 ∩ Stuttering_1 = FIFO ∩ FIFO = FIFO.
+	res := automaton.Compare(top, specs.FIFOQueue(), history.QueueAlphabet(2), 5)
+	if !res.Equal {
+		t.Errorf("top != FIFO: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestProductMonotone(t *testing.T) {
+	p := Product("spool-product", semiLat(), stutLat(), Intersection)
+	if v := p.VerifyMonotone(history.QueueAlphabet(2), 4); len(v) != 0 {
+		t.Fatalf("product not monotone: %v", v[0].Error(p.Universe))
+	}
+}
+
+// The intersection combine is maximally conservative: a semiqueue
+// forbids duplication and a stuttering queue forbids reordering, so
+// their language intersection is FIFO at *every* lattice element — the
+// product collapses. The paper's SSqueue combination is weaker than
+// any language operation on the components: it needs a semantic
+// combine, which Product also supports.
+func TestProductVersusSSQueue(t *testing.T) {
+	p := Product("spool-product", semiLat(), stutLat(), Intersection)
+	bottom, ok := p.Phi(Empty)
+	if !ok {
+		t.Fatalf("no bottom")
+	}
+	res := automaton.Compare(specs.FIFOQueue(), bottom, history.QueueAlphabet(2), 5)
+	if !res.SubsetAB() || res.SubsetBA() {
+		t.Fatalf("expected FIFO ⊊ intersection bottom: subsetAB=%v subsetBA=%v (onlyA=%v onlyB=%v)",
+			res.SubsetAB(), res.SubsetBA(), res.OnlyA, res.OnlyB)
+	}
+	// The only extra histories involve duplicate element values: the
+	// semiqueue deletes a different instance of the value the
+	// stuttering queue re-returns. With distinct elements the
+	// intersection is FIFO: simple reorders and stutters are rejected.
+	reorder := history.History{history.Enq(1), history.Enq(2), history.DeqOk(2)}
+	stutter := history.History{history.Enq(1), history.DeqOk(1), history.DeqOk(1)}
+	if automaton.Accepts(bottom, reorder) {
+		t.Errorf("intersection bottom accepted a reorder")
+	}
+	if automaton.Accepts(bottom, stutter) {
+		t.Errorf("intersection bottom accepted a stutter")
+	}
+
+	// Semantic combine: read the indexes off the component behaviors
+	// and build the genuinely weaker SSqueue_jk (Section 4.2.2).
+	indexes := map[string]int{
+		"Semiqueue_1": 1, "Semiqueue_2": 2,
+		"Stuttering_1": 1, "Stuttering_2": 2,
+	}
+	ssCombine := func(a, b automaton.Automaton) (automaton.Automaton, bool) {
+		k, okA := indexes[a.Name()]
+		j, okB := indexes[b.Name()]
+		if !okA || !okB {
+			return nil, false
+		}
+		return specs.SSQueue(j, k), true
+	}
+	ss := Product("ss-product", semiLat(), stutLat(), ssCombine)
+	ssBottom, ok := ss.Phi(Empty)
+	if !ok {
+		t.Fatalf("no ss bottom")
+	}
+	mixed := history.History{history.Enq(1), history.Enq(2), history.DeqOk(2), history.DeqOk(2), history.DeqOk(1)}
+	if !automaton.Accepts(ssBottom, mixed) {
+		t.Errorf("SSqueue product bottom should accept the mixed history")
+	}
+	if v := ss.VerifyMonotone(history.QueueAlphabet(2), 4); len(v) != 0 {
+		t.Errorf("ss product not monotone: %v", v[0].Error(ss.Universe))
+	}
+	// The intersection product is strictly stronger than the SSqueue
+	// product at the bottom.
+	res = automaton.Compare(bottom, ssBottom, history.QueueAlphabet(2), 4)
+	if !res.SubsetAB() || res.SubsetBA() {
+		t.Errorf("expected intersection bottom ⊊ SSqueue_22: subsetAB=%v subsetBA=%v", res.SubsetAB(), res.SubsetBA())
+	}
+}
+
+func TestProductPartialDomain(t *testing.T) {
+	// A lattice undefined at ∅ makes the product undefined there too.
+	u := NewUniverse(Constraint{Name: "C", Desc: "x"})
+	partial := &Relaxation{
+		Name:     "partial",
+		Universe: u,
+		Phi: func(s Set) (automaton.Automaton, bool) {
+			if s == Empty {
+				return nil, false
+			}
+			return specs.FIFOQueue(), true
+		},
+	}
+	p := Product("prod", partial, semiLat(), Intersection)
+	if len(p.Domain()) != 2 {
+		t.Errorf("domain = %v", p.Domain())
+	}
+	if _, ok := p.Phi(Empty); ok {
+		t.Errorf("product defined where operand is not")
+	}
+}
+
+func TestPrefixName(t *testing.T) {
+	if prefixName("", "C") != "C" {
+		t.Errorf("empty lattice name should not prefix")
+	}
+	if prefixName("a", "C") != "a.C" {
+		t.Errorf("prefix wrong")
+	}
+}

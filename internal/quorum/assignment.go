@@ -1,0 +1,23 @@
+package quorum
+
+// Assignment abstracts a quorum assignment: something that can say
+// whether a set of alive sites contains the quorums an operation needs,
+// and which quorum intersection relation it realizes. Voting (Gifford
+// weighted voting) and ExplicitAssignment (arbitrary quorum structures,
+// e.g. grids) both implement it; the cluster substrate accepts any
+// Assignment.
+type Assignment interface {
+	// Sites returns the number of replica sites the assignment covers.
+	Sites() int
+	// HasQuorum reports whether the alive sites contain both an initial
+	// and a final quorum for op.
+	HasQuorum(op string, alive []bool) bool
+	// Relation derives the quorum intersection relation realized: for
+	// every pair whose quorums are forced to intersect, inv(p) Q q.
+	Relation() Relation
+}
+
+var (
+	_ Assignment = (*Voting)(nil)
+	_ Assignment = (*ExplicitAssignment)(nil)
+)

@@ -1,0 +1,141 @@
+package quorum
+
+import (
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// Eval is an evaluation function η: STATE × OP* → 2^STATE (Section 3.2),
+// here curried at the initial state as in the paper's shorthand
+// η(H) = η(s₀, H). An evaluation function must agree with δ* on
+// histories in L(A) but may assign application-specific meaning to
+// histories outside L(A), which is what lets a relaxed quorum automaton
+// interpret the "weakly consistent" views it constructs.
+type Eval func(h history.History) []value.Value
+
+// DeltaEval returns δ* itself as the evaluation function: QCA(A, Q)
+// of Section 3.2 is QCA(A, Q, DeltaEval(A)).
+func DeltaEval(a automaton.Automaton) Eval {
+	return func(h history.History) []value.Value {
+		return automaton.StatesAfter(a, h)
+	}
+}
+
+// PQEval is the evaluation function η of Section 3.3 for the replicated
+// priority queue, defined for arbitrary sequences of Enq and Deq
+// operations:
+//
+//	η(Λ) = emp
+//	η(H · Enq(e)/Ok()) = ins(η(H), e)
+//	η(H · Deq()/Ok(e)) = del(η(H), e)
+//
+// Each driver dequeues the highest-priority request that appears not to
+// have been served.
+func PQEval(h history.History) []value.Value {
+	q := value.EmptyBag()
+	for _, op := range h {
+		switch op.Name {
+		case history.NameEnq:
+			if len(op.Args) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			q = q.Ins(value.Elem(op.Args[0]))
+		case history.NameDeq:
+			if len(op.Res) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			q = q.Del(value.Elem(op.Res[0]))
+		default:
+			return nil
+		}
+	}
+	return []value.Value{q}
+}
+
+// PQEvalPrime is the alternative evaluation function η′ sketched at the
+// end of Section 3.3: it deletes higher-priority requests that were
+// skipped over in favor of lower-priority requests, so the resulting
+// lattice never services requests out of order but may ignore certain
+// requests. Deq()/Ok(e) removes e and every request with priority
+// greater than e.
+func PQEvalPrime(h history.History) []value.Value {
+	q := value.EmptyBag()
+	for _, op := range h {
+		switch op.Name {
+		case history.NameEnq:
+			if len(op.Args) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			q = q.Ins(value.Elem(op.Args[0]))
+		case history.NameDeq:
+			if len(op.Res) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			e := value.Elem(op.Res[0])
+			q = q.Del(e)
+			// Drop everything that was skipped over.
+			for _, x := range q.Elems() {
+				if x > e {
+					q = q.Del(x)
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return []value.Value{q}
+}
+
+// FIFOEval is the evaluation function η_fifo for a replicated FIFO
+// queue (the Section 3.1 motivating example), defined over arbitrary
+// Enq/Deq sequences: Enq appends, and Deq()/Ok(e) removes the oldest
+// occurrence of e (leaving the queue unchanged when e is absent). It
+// agrees with the FIFO queue's δ* on legal FIFO histories.
+func FIFOEval(h history.History) []value.Value {
+	q := value.EmptySeq()
+	for _, op := range h {
+		switch op.Name {
+		case history.NameEnq:
+			if len(op.Args) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			q = q.Ins(value.Elem(op.Args[0]))
+		case history.NameDeq:
+			if len(op.Res) != 1 || op.Term != history.Ok {
+				return nil
+			}
+			e := value.Elem(op.Res[0])
+			for i := 0; i < q.Size(); i++ {
+				if q.Get(i) == e {
+					q = q.DelAt(i)
+					break
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return []value.Value{q}
+}
+
+// AccountEval is the evaluation function for the replicated bank
+// account of Section 3.4, defined over arbitrary Credit/Debit
+// sequences: credits add, successful debits subtract, and bounced
+// debits leave the balance unchanged.
+func AccountEval(h history.History) []value.Value {
+	bal := 0
+	for _, op := range h {
+		switch {
+		case op.Name == history.NameCredit && op.Term == history.Ok && len(op.Args) == 1:
+			bal += op.Args[0]
+		case op.Name == history.NameDebit && op.Term == history.Ok && len(op.Args) == 1:
+			bal -= op.Args[0]
+		case op.Name == history.NameDebit && op.Term == history.Over && len(op.Args) == 1:
+			// no effect
+		default:
+			return nil
+		}
+	}
+	return []value.Value{value.NewAccount(bal)}
+}

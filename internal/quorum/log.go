@@ -1,0 +1,158 @@
+package quorum
+
+import (
+	"sort"
+	"strings"
+
+	"relaxlattice/internal/history"
+)
+
+// Entry is one log entry: the timestamped record of an operation
+// execution (Section 3.1).
+type Entry struct {
+	TS Timestamp
+	Op history.Op
+}
+
+// String renders the entry as "1:01 Enq(x)/Ok()".
+func (e Entry) String() string { return e.TS.String() + " " + e.Op.String() }
+
+// Log is a replicated object's representation: a sequence of entries
+// sorted by timestamp with no duplicate timestamps. The zero value is
+// the empty log. Logs are immutable; operations return new logs.
+type Log struct {
+	entries []Entry
+}
+
+type byTS []Entry
+
+func (s byTS) Len() int           { return len(s) }
+func (s byTS) Less(i, j int) bool { return s[i].TS.Less(s[j].TS) }
+func (s byTS) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+// LogOf builds a log from entries (sorted and deduplicated by
+// timestamp; for duplicate timestamps the first occurrence wins).
+func LogOf(entries ...Entry) Log {
+	sorted := append([]Entry(nil), entries...)
+	sort.Stable(byTS(sorted))
+	return Log{entries: dedup(sorted)}
+}
+
+// dedup removes adjacent duplicate timestamps in place (first wins).
+func dedup(sorted []Entry) []Entry {
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i == 0 || sorted[i-1].TS != e.TS {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Append returns the log extended with a new entry (inserted in
+// timestamp order; an entry whose timestamp is already present is
+// discarded as a duplicate).
+func (l Log) Append(e Entry) Log {
+	return merge2(l.entries, []Entry{e})
+}
+
+// Merge merges logs in timestamp order, discarding duplicates — the
+// fundamental view-construction step of quorum consensus (Section 3.1).
+// Inputs are already sorted (a Log invariant), so this is a linear
+// k-way merge.
+func Merge(logs ...Log) Log {
+	switch len(logs) {
+	case 0:
+		return Log{}
+	case 1:
+		return Log{entries: append([]Entry(nil), logs[0].entries...)}
+	}
+	acc := logs[0]
+	for _, l := range logs[1:] {
+		acc = merge2(acc.entries, l.entries)
+	}
+	return acc
+}
+
+// merge2 merges two sorted entry slices, discarding duplicate
+// timestamps (left wins).
+func merge2(a, b []Entry) Log {
+	out := make([]Entry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].TS.Less(b[j].TS):
+			out = append(out, a[i])
+			i++
+		case b[j].TS.Less(a[i].TS):
+			out = append(out, b[j])
+			j++
+		default: // equal timestamps: keep one
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return Log{entries: out}
+}
+
+// Len returns the number of entries.
+func (l Log) Len() int { return len(l.entries) }
+
+// Entry returns the i-th entry in timestamp order.
+func (l Log) Entry(i int) Entry { return l.entries[i] }
+
+// Entries returns a copy of the entries in timestamp order.
+func (l Log) Entries() []Entry { return append([]Entry(nil), l.entries...) }
+
+// History reconstructs the object history by reading the entries in
+// timestamp order.
+func (l Log) History() history.History {
+	h := make(history.History, 0, len(l.entries))
+	for _, e := range l.entries {
+		h = append(h, e.Op)
+	}
+	return h
+}
+
+// Contains reports whether the log holds an entry with timestamp ts.
+func (l Log) Contains(ts Timestamp) bool {
+	i := sort.Search(len(l.entries), func(i int) bool { return !l.entries[i].TS.Less(ts) })
+	return i < len(l.entries) && l.entries[i].TS == ts
+}
+
+// MaxTS returns the largest timestamp in the log; ok is false when the
+// log is empty.
+func (l Log) MaxTS() (Timestamp, bool) {
+	if len(l.entries) == 0 {
+		return Timestamp{}, false
+	}
+	return l.entries[len(l.entries)-1].TS, true
+}
+
+// Equal reports whether two logs hold the same entries.
+func (l Log) Equal(other Log) bool {
+	if len(l.entries) != len(other.entries) {
+		return false
+	}
+	for i := range l.entries {
+		if l.entries[i].TS != other.entries[i].TS || !l.entries[i].Op.Equal(other.entries[i].Op) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the log one entry per line.
+func (l Log) String() string {
+	var b strings.Builder
+	for i, e := range l.entries {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+
+	"relaxlattice/internal/history"
+)
+
+// logFrom decodes a byte string into a log with pseudo-random
+// timestamps (collisions intended).
+func logFrom(xs []uint8) Log {
+	var entries []Entry
+	for i, x := range xs {
+		entries = append(entries, Entry{
+			TS: Timestamp{Time: int(x % 16), Site: int(x % 3)},
+			Op: history.Enq(i),
+		})
+	}
+	return LogOf(entries...)
+}
+
+// Merge is commutative, associative, and idempotent on entry sets
+// (duplicate timestamps collapse), and the empty log is its identity —
+// the algebraic properties that make quorum-consensus log propagation
+// order-insensitive.
+func TestMergeLaws(t *testing.T) {
+	sameTimestamps := func(a, b Log) bool {
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := 0; i < a.Len(); i++ {
+			if a.Entry(i).TS != b.Entry(i).TS {
+				return false
+			}
+		}
+		return true
+	}
+	f := func(xs, ys, zs []uint8) bool {
+		a, b, c := logFrom(xs), logFrom(ys), logFrom(zs)
+		if !sameTimestamps(Merge(a, b), Merge(b, a)) {
+			return false
+		}
+		if !sameTimestamps(Merge(Merge(a, b), c), Merge(a, Merge(b, c))) {
+			return false
+		}
+		if !Merge(a, a).Equal(a) {
+			return false
+		}
+		return Merge(a, Log{}).Equal(a) && Merge(Log{}, a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merged logs stay sorted and duplicate-free.
+func TestMergeInvariant(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		m := Merge(logFrom(xs), logFrom(ys))
+		for i := 1; i < m.Len(); i++ {
+			if !m.Entry(i - 1).TS.Less(m.Entry(i).TS) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Append is equivalent to a merge with a singleton log.
+func TestAppendEquivalentToMerge(t *testing.T) {
+	f := func(xs []uint8, tsTime, tsSite uint8) bool {
+		l := logFrom(xs)
+		e := Entry{TS: Timestamp{Time: int(tsTime % 16), Site: int(tsSite % 3)}, Op: history.Enq(99)}
+		return l.Append(e).Equal(Merge(l, LogOf(e)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Merge of any sublogs of L is a sublog of L, and merging all site
+// logs reconstructs every entry — the view-construction soundness the
+// replication protocol relies on.
+func TestMergeSubsetProperty(t *testing.T) {
+	f := func(xs []uint8, maskA, maskB uint8) bool {
+		full := logFrom(xs)
+		var subA, subB []Entry
+		for i := 0; i < full.Len(); i++ {
+			if maskA&(1<<(i%8)) != 0 {
+				subA = append(subA, full.Entry(i))
+			}
+			if maskB&(1<<(i%8)) != 0 {
+				subB = append(subB, full.Entry(i))
+			}
+		}
+		merged := Merge(LogOf(subA...), LogOf(subB...))
+		for i := 0; i < merged.Len(); i++ {
+			if !full.Contains(merged.Entry(i).TS) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package quorum
+
+import (
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+func TestTimestampOrder(t *testing.T) {
+	a := Timestamp{Time: 1, Site: 1}
+	b := Timestamp{Time: 1, Site: 3}
+	c := Timestamp{Time: 2, Site: 2}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Errorf("order wrong")
+	}
+	if b.Less(a) || a.Less(a) {
+		t.Errorf("strictness wrong")
+	}
+	if a.String() != "1:01" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := NewClock(2)
+	t1 := c.Tick()
+	t2 := c.Tick()
+	if !t1.Less(t2) || t1.Site != 2 {
+		t.Errorf("ticks: %v %v", t1, t2)
+	}
+	// Witnessing a larger time pushes the clock forward.
+	c.Witness(Timestamp{Time: 10, Site: 1})
+	t3 := c.Tick()
+	if t3.Time != 11 {
+		t.Errorf("after witness: %v", t3)
+	}
+	// Witnessing an older timestamp must not move the clock backward.
+	c.Witness(Timestamp{Time: 3, Site: 1})
+	if c.Now() != 11 {
+		t.Errorf("clock moved backward: %d", c.Now())
+	}
+}
+
+// The paper's replicated-queue example (Section 3.1): three sites, each
+// with a partial log; merging in timestamp order, discarding
+// duplicates, reconstructs ins(ins(ins(emp,x),y),z). With x=1 y=2 z=3:
+func TestMergePaperExample(t *testing.T) {
+	e1 := Entry{TS: Timestamp{Time: 1, Site: 1}, Op: history.Enq(1)} // 1:01 Enq(x)
+	e2 := Entry{TS: Timestamp{Time: 1, Site: 3}, Op: history.Enq(2)} // 1:03 Enq(y)
+	e3 := Entry{TS: Timestamp{Time: 2, Site: 2}, Op: history.Enq(3)} // 2:02 Enq(z)
+	s1 := LogOf(e1, e3)
+	s2 := LogOf(e1, e2)
+	s3 := LogOf(e2, e3)
+	merged := Merge(s1, s2, s3)
+	if merged.Len() != 3 {
+		t.Fatalf("merged = %v", merged)
+	}
+	want := history.History{history.Enq(1), history.Enq(2), history.Enq(3)}
+	if !merged.History().Equal(want) {
+		t.Errorf("History = %v, want %v", merged.History(), want)
+	}
+	// Any quorum of two sites reconstructs the full queue value's
+	// entries it holds; merging all pairs that form Enq quorums:
+	if got := Merge(s1, s2); got.Len() != 3 {
+		t.Errorf("merge(s1,s2) = %d entries", got.Len())
+	}
+}
+
+func TestLogAppendAndDuplicates(t *testing.T) {
+	ts := Timestamp{Time: 1, Site: 1}
+	l := Log{}.Append(Entry{TS: ts, Op: history.Enq(1)})
+	if l.Len() != 1 || !l.Contains(ts) {
+		t.Fatalf("append failed: %v", l)
+	}
+	// Duplicate timestamps are discarded on merge.
+	dup := l.Append(Entry{TS: ts, Op: history.Enq(1)})
+	if dup.Len() != 1 {
+		t.Errorf("duplicate not discarded: %v", dup)
+	}
+	if l.Contains(Timestamp{Time: 9, Site: 9}) {
+		t.Errorf("Contains false positive")
+	}
+	maxTS, ok := l.MaxTS()
+	if !ok || maxTS != ts {
+		t.Errorf("MaxTS = %v %v", maxTS, ok)
+	}
+	if _, ok := (Log{}).MaxTS(); ok {
+		t.Errorf("MaxTS of empty log")
+	}
+	if !l.Equal(dup) || l.Equal(Log{}) {
+		t.Errorf("Equal wrong")
+	}
+	if !strings.Contains(l.String(), "1:01 Enq(1)/Ok()") {
+		t.Errorf("String = %q", l.String())
+	}
+	if e := l.Entry(0); !e.Op.Equal(history.Enq(1)) {
+		t.Errorf("Entry = %v", e)
+	}
+	if es := l.Entries(); len(es) != 1 {
+		t.Errorf("Entries = %v", es)
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	q1, q2 := Q1(), Q2()
+	if !q1.Holds(history.DeqInv(), history.Enq(1)) {
+		t.Errorf("Q1 should relate inv(Deq) to Enq")
+	}
+	if q1.Holds(history.DeqInv(), history.DeqOk(1)) {
+		t.Errorf("Q1 should not relate inv(Deq) to Deq")
+	}
+	u := q1.Union(q2)
+	if !u.Holds(history.DeqInv(), history.DeqOk(1)) || !u.Holds(history.DeqInv(), history.Enq(1)) {
+		t.Errorf("union wrong")
+	}
+	if !q1.IsSubrelationOf(u) || u.IsSubrelationOf(q1) {
+		t.Errorf("subrelation wrong")
+	}
+	if got := u.String(); got != "{inv(Deq)→Deq, inv(Deq)→Enq}" {
+		t.Errorf("String = %q", got)
+	}
+	if NewRelation().String() != "∅" {
+		t.Errorf("empty relation String")
+	}
+	if len(u.Pairs()) != 2 {
+		t.Errorf("Pairs = %v", u.Pairs())
+	}
+	if !A1().Holds(history.Op{Name: history.NameDebit}.Inv(), history.Credit(1)) {
+		t.Errorf("A1 wrong")
+	}
+	if !A2().Holds(history.Op{Name: history.NameDebit}.Inv(), history.DebitOk(1)) {
+		t.Errorf("A2 wrong")
+	}
+}
+
+func collectViews(rel Relation, h history.History, inv history.Invocation) []history.History {
+	var out []history.History
+	rel.Views(h, inv, func(g history.History) bool {
+		out = append(out, g)
+		return true
+	})
+	return out
+}
+
+func TestViewsUnderQ1(t *testing.T) {
+	// H = Enq(1) Enq(2) Deq(2): under Q1, a Deq view must contain both
+	// Enqs; the Deq is optional. Two views.
+	h := history.History{history.Enq(1), history.Enq(2), history.DeqOk(2)}
+	views := collectViews(Q1(), h, history.DeqInv())
+	if len(views) != 2 {
+		t.Fatalf("views = %v", views)
+	}
+	// Largest-first: the full history comes first.
+	if !views[0].Equal(h) {
+		t.Errorf("first view = %v", views[0])
+	}
+	if !views[1].Equal(history.History{history.Enq(1), history.Enq(2)}) {
+		t.Errorf("second view = %v", views[1])
+	}
+}
+
+func TestViewsUnderQ2ClosureForcesDeqPrefixes(t *testing.T) {
+	// Under Q2 a Deq view must contain all Deqs of H... and is Q-closed
+	// automatically. For an Enq invocation nothing is required, but
+	// closure still applies to included Deqs: the included Deqs must be
+	// downward-closed among Deqs.
+	h := history.History{history.DeqOk(1), history.DeqOk(2), history.Enq(3)}
+	views := collectViews(Q2(), h, history.EnqInv(9))
+	// Optional: all three ops, but {Deq2} without Deq1 is not Q-closed.
+	// Subsets of {Deq1, Deq2} allowed: {}, {Deq1}, {Deq1,Deq2} times
+	// {Enq3 in/out} = 6 views.
+	if len(views) != 6 {
+		t.Fatalf("got %d views: %v", len(views), views)
+	}
+	for _, g := range views {
+		sawSecond := false
+		for _, op := range g {
+			if op.Equal(history.DeqOk(2)) {
+				sawSecond = true
+			}
+		}
+		if sawSecond {
+			hasFirst := false
+			for _, op := range g {
+				if op.Equal(history.DeqOk(1)) {
+					hasFirst = true
+				}
+			}
+			if !hasFirst {
+				t.Errorf("view %v not Q-closed", g)
+			}
+		}
+	}
+}
+
+func TestViewsEmptyRelation(t *testing.T) {
+	h := history.History{history.Enq(1), history.DeqOk(1)}
+	views := collectViews(NewRelation(), h, history.DeqInv())
+	// Every subset qualifies: 4 views.
+	if len(views) != 4 {
+		t.Errorf("views = %v", views)
+	}
+}
+
+func TestViewsEarlyStop(t *testing.T) {
+	h := history.History{history.Enq(1), history.Enq(2)}
+	n := 0
+	NewRelation().Views(h, history.DeqInv(), func(history.History) bool {
+		n++
+		return false
+	})
+	if n != 1 {
+		t.Errorf("visit called %d times after stop", n)
+	}
+}
+
+func TestMergeArities(t *testing.T) {
+	if Merge().Len() != 0 {
+		t.Errorf("Merge() not empty")
+	}
+	l := LogOf(Entry{TS: Timestamp{Time: 1, Site: 1}, Op: history.Enq(1)})
+	single := Merge(l)
+	if !single.Equal(l) {
+		t.Errorf("Merge(l) != l")
+	}
+	// The single-log merge copies: appending to the copy must not
+	// disturb the original.
+	_ = single.Append(Entry{TS: Timestamp{Time: 2, Site: 1}, Op: history.Enq(2)})
+	if l.Len() != 1 {
+		t.Errorf("original mutated")
+	}
+}
+
+func TestViewsOptionalLimitPanics(t *testing.T) {
+	var h history.History
+	for i := 0; i < 31; i++ {
+		h = h.Append(history.Enq(i))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on >30 optional operations")
+		}
+	}()
+	NewRelation().Views(h, history.DeqInv(), func(history.History) bool { return true })
+}

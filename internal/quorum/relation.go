@@ -1,0 +1,172 @@
+package quorum
+
+import (
+	"sort"
+	"strings"
+
+	"relaxlattice/internal/history"
+)
+
+// Pair is one element of a quorum intersection relation: the invocation
+// of operation Inv depends on (must observe) operations named Op —
+// inv(Inv) Q Op holds when every initial quorum for Inv intersects
+// every final quorum for Op (Section 3.1).
+type Pair struct {
+	Inv string
+	Op  string
+}
+
+// Relation is a quorum intersection relation Q between invocations and
+// operations, at operation-name granularity (which is the granularity
+// of the paper's constraints Q₁, Q₂, A₁, A₂). The zero value is the
+// empty relation.
+type Relation struct {
+	pairs map[Pair]bool
+}
+
+// NewRelation builds a relation from pairs.
+func NewRelation(pairs ...Pair) Relation {
+	m := make(map[Pair]bool, len(pairs))
+	for _, p := range pairs {
+		m[p] = true
+	}
+	return Relation{pairs: m}
+}
+
+// Union returns Q ∪ R.
+func (r Relation) Union(other Relation) Relation {
+	out := make(map[Pair]bool, len(r.pairs)+len(other.pairs))
+	for p := range r.pairs {
+		out[p] = true
+	}
+	for p := range other.pairs {
+		out[p] = true
+	}
+	return Relation{pairs: out}
+}
+
+// Holds reports inv(p) Q q.
+func (r Relation) Holds(inv history.Invocation, q history.Op) bool {
+	return r.pairs[Pair{Inv: inv.Name, Op: q.Name}]
+}
+
+// Pairs returns the relation's pairs, sorted for determinism.
+func (r Relation) Pairs() []Pair {
+	out := make([]Pair, 0, len(r.pairs))
+	for p := range r.pairs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Inv != out[j].Inv {
+			return out[i].Inv < out[j].Inv
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// IsSubrelationOf reports r ⊆ other.
+func (r Relation) IsSubrelationOf(other Relation) bool {
+	for p := range r.pairs {
+		if !other.pairs[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as "{inv(Deq)→Enq, inv(Deq)→Deq}".
+func (r Relation) String() string {
+	pairs := r.Pairs()
+	if len(pairs) == 0 {
+		return "∅"
+	}
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = "inv(" + p.Inv + ")→" + p.Op
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// The paper's constraints as relations.
+
+// Q1 is constraint Q₁ of Section 3.3: each initial Deq quorum
+// intersects each final Enq quorum.
+func Q1() Relation { return NewRelation(Pair{Inv: history.NameDeq, Op: history.NameEnq}) }
+
+// Q2 is constraint Q₂ of Section 3.3: each initial Deq quorum
+// intersects each final Deq quorum.
+func Q2() Relation { return NewRelation(Pair{Inv: history.NameDeq, Op: history.NameDeq}) }
+
+// A1 is constraint A₁ of Section 3.4: every initial Debit quorum
+// intersects every final Credit quorum.
+func A1() Relation { return NewRelation(Pair{Inv: history.NameDebit, Op: history.NameCredit}) }
+
+// A2 is constraint A₂ of Section 3.4: every initial Debit quorum
+// intersects every final Debit quorum.
+func A2() Relation { return NewRelation(Pair{Inv: history.NameDebit, Op: history.NameDebit}) }
+
+// Views enumerates the Q-views of H for operation p (Definitions 1 and
+// 2): subhistories of H that (1) include every operation q of H with
+// inv(p) Q q and (2) are Q-closed — whenever they contain an operation
+// r they contain every earlier operation q with inv(r) Q q. The visit
+// callback receives each view; returning false stops the enumeration
+// early. Views are generated largest-first (the full history H is
+// always a Q-view and comes first).
+func (r Relation) Views(h history.History, p history.Invocation, visit func(g history.History) bool) {
+	n := len(h)
+	required := make([]bool, n)
+	var optional []int
+	for i, q := range h {
+		if r.Holds(p, q) {
+			required[i] = true
+		} else {
+			optional = append(optional, i)
+		}
+	}
+	if len(optional) > 30 {
+		panic("quorum: view enumeration over more than 30 optional operations")
+	}
+	include := make([]bool, n)
+	// Iterate subsets of the optional positions, largest first.
+	for mask := uint64(1)<<uint(len(optional)) - 1; ; mask-- {
+		for i := range include {
+			include[i] = required[i]
+		}
+		for b, pos := range optional {
+			if mask&(1<<uint(b)) != 0 {
+				include[pos] = true
+			}
+		}
+		if closedUnder(r, h, include) {
+			var g history.History
+			for i, in := range include {
+				if in {
+					g = append(g, h[i])
+				}
+			}
+			if !visit(g) {
+				return
+			}
+		}
+		if mask == 0 {
+			return
+		}
+	}
+}
+
+// closedUnder reports whether the included subhistory is Q-closed.
+func closedUnder(r Relation, h history.History, include []bool) bool {
+	for i, in := range include {
+		if !in {
+			continue
+		}
+		inv := h[i].Inv()
+		for j := 0; j < i; j++ {
+			if !include[j] && r.Holds(inv, h[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

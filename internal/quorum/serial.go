@@ -1,0 +1,83 @@
+package quorum
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+)
+
+// DependencyViolation is a counterexample to Definition 3: a history H
+// in L(A), a Q-view G of H for operation P, with G·P ∈ L(A) but
+// H·P ∉ L(A) — the view justified a response the true state forbids.
+type DependencyViolation struct {
+	H, G history.History
+	P    history.Op
+}
+
+// String renders the counterexample.
+func (v DependencyViolation) String() string {
+	return fmt.Sprintf("H=%v, Q-view G=%v, p=%v: G·p ∈ L(A) but H·p ∉ L(A)", v.H, v.G, v.P)
+}
+
+// IsSerialDependency checks, by bounded enumeration, whether Q is a
+// serial dependency relation for A (Definition 3): for all histories
+// G and H in L(A) such that G is a Q-view of H for p,
+// G·p ∈ L(A) ⇒ H·p ∈ L(A). Histories H are enumerated over the
+// alphabet up to length maxLen; p ranges over the alphabet. It returns
+// the first violation found, if any. Quorum consensus replication
+// guarantees one-copy serializability iff Q is a serial dependency
+// relation (Section 3.2).
+func IsSerialDependency(a automaton.Automaton, rel Relation, alphabet []history.Op, maxLen int) (bool, *DependencyViolation) {
+	var violation *DependencyViolation
+	for _, h := range automaton.Language(a, alphabet, maxLen) {
+		for _, p := range alphabet {
+			if automaton.Accepts(a, h.Append(p)) {
+				continue // implication holds trivially
+			}
+			inv := p.Inv()
+			rel.Views(h, inv, func(g history.History) bool {
+				if !automaton.Accepts(a, g) {
+					return true // Definition 3 quantifies over G ∈ L(A)
+				}
+				if automaton.Accepts(a, g.Append(p)) {
+					violation = &DependencyViolation{H: h, G: g, P: p}
+					return false
+				}
+				return true
+			})
+			if violation != nil {
+				return false, violation
+			}
+		}
+	}
+	return true, nil
+}
+
+// IsOneCopySerializable checks, by bounded language comparison, the
+// extension of one-copy serializability to typed objects
+// (Section 3.2): L(QCA(A, Q, η)) = L(A).
+func IsOneCopySerializable(q *QCA, alphabet []history.Op, maxLen int) automaton.CompareResult {
+	return automaton.Compare(q, q.Base(), alphabet, maxLen)
+}
+
+// MinimalityWitness reports whether dropping any single pair from Q
+// breaks the serial dependency property — i.e. whether Q is minimal
+// (Section 3.2: "no R ⊂ Q guarantees one-copy serializability").
+// It returns, per removed pair, whether the reduced relation still is a
+// serial dependency relation (all must be false for minimality).
+func MinimalityWitness(a automaton.Automaton, rel Relation, alphabet []history.Op, maxLen int) map[Pair]bool {
+	out := make(map[Pair]bool)
+	pairs := rel.Pairs()
+	for _, drop := range pairs {
+		var kept []Pair
+		for _, p := range pairs {
+			if p != drop {
+				kept = append(kept, p)
+			}
+		}
+		ok, _ := IsSerialDependency(a, NewRelation(kept...), alphabet, maxLen)
+		out[drop] = ok
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package specs
+
+import (
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+func asAccount(s value.Value) value.Account { return s.(value.Account) }
+
+// creditAmount extracts the amount of a Credit(n)/Ok() execution.
+func creditAmount(op history.Op) (int, bool) {
+	if len(op.Args) != 1 || len(op.Res) != 0 || op.Term != history.Ok || op.Args[0] < 0 {
+		return 0, false
+	}
+	return op.Args[0], true
+}
+
+// debitAmount extracts the amount of a Debit(n)/term() execution and its
+// termination condition.
+func debitAmount(op history.Op) (n int, term history.Term, ok bool) {
+	if len(op.Args) != 1 || len(op.Res) != 0 || op.Args[0] < 0 {
+		return 0, "", false
+	}
+	if op.Term != history.Ok && op.Term != history.Over {
+		return 0, "", false
+	}
+	return op.Args[0], op.Term, true
+}
+
+// BankAccount returns the preferred bank-account automaton of
+// Section 3.4: Credit adds to the balance, and Debit subtracts, raising
+// the Over exception exactly when the balance would become negative.
+func BankAccount() *automaton.Spec {
+	return automaton.NewSpec("Account", value.NewAccount(0),
+		automaton.OpSpec{
+			Name: history.NameCredit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, ok := creditAmount(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{value.NewAccount(asAccount(s).Balance + n)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDebit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, term, ok := debitAmount(op)
+				if !ok {
+					return nil
+				}
+				a := asAccount(s)
+				switch {
+				case term == history.Ok && n <= a.Balance:
+					return []value.Value{value.NewAccount(a.Balance - n)}
+				case term == history.Over && n > a.Balance:
+					return []value.Value{a}
+				default:
+					return nil
+				}
+			},
+		},
+	)
+}
+
+// SpuriousAccount returns the degraded account behavior when constraint
+// A₁ (initial Debit quorums intersect final Credit quorums) is relaxed
+// but A₂ is kept: a debit based on a stale view may bounce spuriously —
+// Debit may return Over even when funds suffice — but a successful
+// debit never overdraws, so the balance stays non-negative. The paper
+// describes this behavior informally; the automaton makes it precise.
+func SpuriousAccount() *automaton.Spec {
+	return automaton.NewSpec("SpuriousAccount", value.NewAccount(0),
+		automaton.OpSpec{
+			Name: history.NameCredit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, ok := creditAmount(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{value.NewAccount(asAccount(s).Balance + n)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDebit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, term, ok := debitAmount(op)
+				if !ok {
+					return nil
+				}
+				a := asAccount(s)
+				switch {
+				case term == history.Ok && n <= a.Balance:
+					return []value.Value{value.NewAccount(a.Balance - n)}
+				case term == history.Over:
+					// A view may miss recent credits, so any debit may
+					// bounce regardless of the true balance.
+					return []value.Value{a}
+				default:
+					return nil
+				}
+			},
+		},
+	)
+}
+
+// OverdraftAccount returns the behavior with both A₁ and A₂ relaxed:
+// concurrent debits can each miss the other, so a successful debit may
+// drive the balance negative (the semantic property the bank refuses to
+// give up, which is why its relaxation lattice is restricted to the
+// sublattice that always contains A₂).
+func OverdraftAccount() *automaton.Spec {
+	return automaton.NewSpec("OverdraftAccount", value.NewAccount(0),
+		automaton.OpSpec{
+			Name: history.NameCredit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, ok := creditAmount(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{value.NewAccount(asAccount(s).Balance + n)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDebit,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				n, term, ok := debitAmount(op)
+				if !ok {
+					return nil
+				}
+				a := asAccount(s)
+				if term == history.Over {
+					return []value.Value{a}
+				}
+				// A debit computed against any stale view may succeed,
+				// possibly overdrawing the account.
+				return []value.Value{value.NewAccount(a.Balance - n)}
+			},
+		},
+	)
+}

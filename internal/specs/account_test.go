@@ -1,0 +1,86 @@
+package specs
+
+import (
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+func TestBankAccount(t *testing.T) {
+	checkAccepts(t, BankAccount(), map[string]bool{
+		"Credit(5)/Ok() Debit(3)/Ok()":                 true,
+		"Credit(5)/Ok() Debit(6)/Over()":               true,  // must bounce
+		"Credit(5)/Ok() Debit(6)/Ok()":                 false, // would overdraw
+		"Credit(5)/Ok() Debit(3)/Over()":               false, // spurious bounce
+		"Debit(1)/Over()":                              true,
+		"Debit(1)/Ok()":                                false,
+		"Credit(2)/Ok() Credit(3)/Ok() Debit(5)/Ok()":  true,
+		"Credit(2)/Ok() Debit(2)/Ok() Debit(1)/Over()": true,
+	})
+}
+
+func TestSpuriousAccount(t *testing.T) {
+	checkAccepts(t, SpuriousAccount(), map[string]bool{
+		"Credit(5)/Ok() Debit(3)/Ok()":   true,
+		"Credit(5)/Ok() Debit(3)/Over()": true,  // spurious bounce tolerated
+		"Credit(5)/Ok() Debit(6)/Ok()":   false, // never overdrawn
+		"Debit(1)/Over()":                true,
+	})
+}
+
+func TestOverdraftAccount(t *testing.T) {
+	checkAccepts(t, OverdraftAccount(), map[string]bool{
+		"Credit(5)/Ok() Debit(6)/Ok()": true, // overdraft possible
+		"Debit(3)/Ok()":                true,
+		"Debit(3)/Over()":              true,
+	})
+}
+
+// The account family is a chain: Account ⊆ Spurious ⊆ Overdraft.
+func TestAccountChain(t *testing.T) {
+	alphabet := history.AccountAlphabet(2)
+	if res := automaton.Compare(BankAccount(), SpuriousAccount(), alphabet, 5); !res.SubsetAB() {
+		t.Errorf("Account ⊄ Spurious: %v", res.OnlyA)
+	}
+	if res := automaton.Compare(SpuriousAccount(), OverdraftAccount(), alphabet, 5); !res.SubsetAB() {
+		t.Errorf("Spurious ⊄ Overdraft: %v", res.OnlyA)
+	}
+	// Strict inclusions.
+	if res := automaton.Compare(SpuriousAccount(), BankAccount(), alphabet, 5); res.SubsetAB() {
+		t.Errorf("Spurious should not be ⊆ Account")
+	}
+	if res := automaton.Compare(OverdraftAccount(), SpuriousAccount(), alphabet, 5); res.SubsetAB() {
+		t.Errorf("Overdraft should not be ⊆ Spurious")
+	}
+}
+
+// Spurious account invariant: the balance never goes negative on any
+// accepted history.
+func TestSpuriousAccountNeverNegative(t *testing.T) {
+	alphabet := history.AccountAlphabet(2)
+	for _, h := range automaton.Language(SpuriousAccount(), alphabet, 5) {
+		for _, s := range automaton.StatesAfter(SpuriousAccount(), h) {
+			if s.(value.Account).Balance < 0 {
+				t.Fatalf("negative balance after %v", h)
+			}
+		}
+	}
+}
+
+func TestAccountMalformedOps(t *testing.T) {
+	for _, a := range []automaton.Automaton{BankAccount(), SpuriousAccount(), OverdraftAccount()} {
+		bad := []history.Op{
+			history.MakeOp("Credit", []int{-1}, history.Ok, nil),
+			history.MakeOp("Credit", []int{1}, history.Over, nil),
+			history.MakeOp("Debit", []int{1, 2}, history.Ok, nil),
+			history.MakeOp("Debit", []int{1}, "Weird", nil),
+		}
+		for _, op := range bad {
+			if automaton.Accepts(a, history.History{history.Credit(5), op}) {
+				t.Errorf("%s accepted malformed %v", a.Name(), op)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package specs
+
+import (
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// MultiFIFOQueue returns the FIFO analog of the multi-priority queue:
+// the behavior of a replicated FIFO queue when the Deq/Deq quorum
+// intersection constraint is relaxed. Deq either serves the oldest
+// pending request, or re-serves an already-served request that is
+// older than every pending one — requests may be serviced multiple
+// times, but never out of arrival order. The paper develops this
+// construction for priority queues (Theorem 4); the FIFO version is
+// verified by the analogous bounded equivalence
+// L(QCA(FifoQueue, Q₁, η_fifo)) = L(MultiFIFOQueue) in core.
+func MultiFIFOQueue() *automaton.Spec {
+	asServed := func(s value.Value) value.ServedSeq { return s.(value.ServedSeq) }
+	return automaton.NewSpec("MFQueue", value.EmptyServedSeq(),
+		automaton.OpSpec{
+			Name: history.NameEnq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := enqElem(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{asServed(s).Append(e)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDeq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := deqElem(op)
+				if !ok {
+					return nil
+				}
+				sv := asServed(s)
+				first := sv.FirstUnserved()
+				var succ []value.Value
+				// Serve the oldest pending request.
+				if first >= 0 && sv.Elem(first) == e {
+					succ = append(succ, sv.Serve(first))
+				}
+				// Re-serve an older, already-served request. Slots are
+				// in arrival order, so "older than every pending one"
+				// means any served slot before the first unserved (all
+				// served slots when nothing is pending). The queue
+				// value is unchanged.
+				limit := first
+				if limit < 0 {
+					limit = sv.Len()
+				}
+				for i := 0; i < limit; i++ {
+					if sv.IsServed(i) && sv.Elem(i) == e {
+						succ = append(succ, sv)
+						break // the value is unchanged; one witness suffices
+					}
+				}
+				return succ
+			},
+		},
+	)
+}

@@ -1,0 +1,34 @@
+package specs
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Fatalf("registry has %d automata", len(all))
+	}
+	for _, want := range []string{
+		"Bag", "FifoQueue", "PQueue", "MPQueue", "OPQueue", "DegenPQueue",
+		"Semiqueue_1", "Stuttering_2", "SSqueue_2_2",
+		"Account", "SpuriousAccount", "OverdraftAccount",
+	} {
+		if _, ok := all[want]; !ok {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	// Every automaton accepts the empty history and rejects an unknown
+	// operation.
+	bogus := history.MakeOp("Bogus", nil, history.Ok, nil)
+	for name, a := range all {
+		if a.Init() == nil {
+			t.Errorf("%s: nil initial state", name)
+		}
+		if got := a.Step(a.Init(), bogus); got != nil {
+			t.Errorf("%s accepted unknown op", name)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package specs
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// Semiqueue returns the Semiqueue_k automaton of Figure 4-1: a sequence
+// where Deq deletes and returns one of the first k items.
+//
+//	Enq(e)/Ok()  ensures q' = ins(q, e)
+//	Deq()/Ok(e)  requires ¬isEmp(q)  ensures q' = del(q, e) ∧ e ∈ prefix(q, k)
+//
+// Semiqueue(1) is the FIFO queue and Semiqueue(n), for n the maximum
+// queue length reached, behaves as a bag. It panics if k < 1.
+//
+// With duplicate elements, reading del through the Bag axioms inherited
+// by the sequence sort would remove the most recently inserted
+// occurrence of e — which can sit beyond the prefix and would break the
+// paper's claim that Semiqueue_1 is the FIFO queue. Deq therefore
+// removes an occurrence of e at a position < k: the occurrence the
+// dequeuer actually observed.
+func Semiqueue(k int) *automaton.Spec {
+	if k < 1 {
+		panic(fmt.Sprintf("specs: Semiqueue index k = %d, need k ≥ 1", k))
+	}
+	return automaton.NewSpec(fmt.Sprintf("Semiqueue_%d", k), value.EmptySeq(),
+		automaton.OpSpec{
+			Name: history.NameEnq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := enqElem(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{asSeq(s).Ins(e)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDeq,
+			Pre: func(s value.Value, op history.Op) bool {
+				return !asSeq(s).IsEmp()
+			},
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := deqElem(op)
+				if !ok {
+					return nil
+				}
+				q := asSeq(s)
+				limit := k
+				if n := q.Size(); n < limit {
+					limit = n
+				}
+				var succ []value.Value
+				for i := 0; i < limit; i++ {
+					if q.Get(i) == e {
+						succ = append(succ, q.DelAt(i))
+					}
+				}
+				return succ
+			},
+		},
+	)
+}
+
+// StutteringQueue returns the Stuttering_j queue automaton of
+// Figure 4-3: a FIFO queue whose front item may be returned as many as
+// j times. The state records how many times the current front item has
+// been returned so far; each Deq returns the front item and either
+// keeps it (a stutter, allowed while another return would not exceed j)
+// or removes it and resets the count.
+//
+// The figure guards the stutter with q.count < j; read literally that
+// permits j+1 total returns and makes Stuttering_1 stutter once, which
+// contradicts the paper's statement that SSqueue_11 (and hence
+// Stuttering_1) is the FIFO queue. We therefore allow a stutter exactly
+// when count+1 < j, which yields at most j returns of each item and
+// makes StutteringQueue(1) the FIFO queue. It panics if j < 1.
+func StutteringQueue(j int) *automaton.Spec {
+	if j < 1 {
+		panic(fmt.Sprintf("specs: StutteringQueue index j = %d, need j ≥ 1", j))
+	}
+	asStutQ := func(s value.Value) value.StutQ { return s.(value.StutQ) }
+	return automaton.NewSpec(fmt.Sprintf("Stuttering_%d", j), value.EmptyStutQ(),
+		automaton.OpSpec{
+			Name: history.NameEnq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := enqElem(op)
+				if !ok {
+					return nil
+				}
+				q := asStutQ(s)
+				return []value.Value{value.StutQ{Items: q.Items.Ins(e), Count: q.Count}}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDeq,
+			Pre: func(s value.Value, op history.Op) bool {
+				return !asStutQ(s).Items.IsEmp()
+			},
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := deqElem(op)
+				if !ok {
+					return nil
+				}
+				q := asStutQ(s)
+				first, nonEmpty := q.Items.First()
+				if !nonEmpty || first != e {
+					return nil
+				}
+				succ := []value.Value{value.StutQ{Items: q.Items.Rest(), Count: 0}}
+				if q.Count+1 < j {
+					succ = append(succ, value.StutQ{Items: q.Items, Count: q.Count + 1})
+				}
+				return succ
+			},
+		},
+	)
+}
+
+// SSQueue returns the combined SSqueue_jk automaton of Section 4.2.2:
+// any of the first k items may be returned as many as j times. Deq
+// returns an item at a position < k, and either keeps it (while another
+// return would not exceed j) or removes it. SSQueue(1, 1) is the FIFO
+// queue; SSQueue(1, k) accepts the Semiqueue_k language and
+// SSQueue(j, 1) the Stuttering_j language. It panics if j < 1 or k < 1.
+func SSQueue(j, k int) *automaton.Spec {
+	if j < 1 || k < 1 {
+		panic(fmt.Sprintf("specs: SSQueue indices j = %d, k = %d, need ≥ 1", j, k))
+	}
+	asSSQ := func(s value.Value) value.SSQ { return s.(value.SSQ) }
+	return automaton.NewSpec(fmt.Sprintf("SSqueue_%d_%d", j, k), value.EmptySSQ(),
+		automaton.OpSpec{
+			Name: history.NameEnq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := enqElem(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{asSSQ(s).Ins(e)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDeq,
+			Pre: func(s value.Value, op history.Op) bool {
+				return !asSSQ(s).Items.IsEmp()
+			},
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := deqElem(op)
+				if !ok {
+					return nil
+				}
+				q := asSSQ(s)
+				limit := k
+				if n := q.Items.Size(); n < limit {
+					limit = n
+				}
+				var succ []value.Value
+				for i := 0; i < limit; i++ {
+					if q.Items.Get(i) != e {
+						continue
+					}
+					succ = append(succ, q.Remove(i))
+					if q.Counts[i]+1 < j {
+						succ = append(succ, q.Stutter(i))
+					}
+				}
+				return succ
+			},
+		},
+	)
+}

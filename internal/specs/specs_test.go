@@ -1,0 +1,263 @@
+package specs
+
+import (
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+func h(ops ...history.Op) history.History { return history.History(ops) }
+
+func checkAccepts(t *testing.T, a automaton.Automaton, cases map[string]bool) {
+	t.Helper()
+	for s, want := range cases {
+		hist, err := history.Parse(s)
+		if err != nil {
+			t.Fatalf("bad test history %q: %v", s, err)
+		}
+		if got := automaton.Accepts(a, hist); got != want {
+			t.Errorf("%s: Accepts(%s) = %v, want %v", a.Name(), s, got, want)
+		}
+	}
+}
+
+func TestBagAutomaton(t *testing.T) {
+	checkAccepts(t, BagAutomaton(), map[string]bool{
+		"Enq(1)/Ok()":                                                 true,
+		"Enq(1)/Ok() Deq()/Ok(1)":                                     true,
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(1)":                         true, // any member
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)":                         true,
+		"Enq(1)/Ok() Deq()/Ok(2)":                                     false, // not a member
+		"Deq()/Ok(1)":                                                 false, // empty
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)":                         false, // removed
+		"Enq(1)/Ok() Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)":             true,  // multiplicity
+		"Enq(1)/Ok() Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1) Deq()/Ok(1)": false,
+	})
+}
+
+func TestFIFOQueue(t *testing.T) {
+	checkAccepts(t, FIFOQueue(), map[string]bool{
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(1) Deq()/Ok(2)": true,
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)":             false, // out of order
+		"Deq()/Ok(1)":                                     false,
+		"Enq(1)/Ok() Deq()/Ok(1) Enq(2)/Ok() Deq()/Ok(2)": true,
+		"Enq(2)/Ok() Enq(1)/Ok() Deq()/Ok(2) Deq()/Ok(1)": true,
+	})
+}
+
+func TestPriorityQueue(t *testing.T) {
+	checkAccepts(t, PriorityQueue(), map[string]bool{
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(3) Deq()/Ok(1)": true,  // best first
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(1)":             false, // passed over 3
+		"Enq(3)/Ok() Deq()/Ok(3) Enq(1)/Ok() Deq()/Ok(1)": true,
+		"Deq()/Ok(1)": false,
+		"Enq(2)/Ok() Enq(2)/Ok() Deq()/Ok(2) Deq()/Ok(2)": true, // ties
+		"Enq(2)/Ok() Deq()/Ok(2) Deq()/Ok(2)":             false,
+	})
+}
+
+func TestMultiPriorityQueue(t *testing.T) {
+	checkAccepts(t, MultiPriorityQueue(), map[string]bool{
+		// Behaves as a priority queue on legal PQ histories.
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(3) Deq()/Ok(1)": true,
+		// Requests may be serviced multiple times...
+		"Enq(3)/Ok() Deq()/Ok(3) Deq()/Ok(3)": true,
+		// ...but never out of order: an absent item may only be
+		// re-returned while it still beats everything present.
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(1)":                         false,
+		"Enq(3)/Ok() Deq()/Ok(3) Enq(1)/Ok() Deq()/Ok(3)":             true,  // 3 absent, beats 1
+		"Enq(3)/Ok() Deq()/Ok(3) Enq(5)/Ok() Deq()/Ok(3)":             false, // 5 present is better
+		"Enq(3)/Ok() Deq()/Ok(3) Enq(5)/Ok() Deq()/Ok(5) Deq()/Ok(3)": true,
+		"Deq()/Ok(1)": false, // nothing enqueued, no disjunct satisfiable
+	})
+}
+
+func TestOutOfOrderQueue(t *testing.T) {
+	opq := OutOfOrderQueue()
+	if opq.Name() != "OPQueue" {
+		t.Errorf("Name = %q", opq.Name())
+	}
+	checkAccepts(t, opq, map[string]bool{
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(1)": true,  // out of order allowed
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)": false, // never twice
+	})
+	// OPQ is behaviorally the bag automaton (the paper: "the behavior of
+	// an OPQ is just a bag").
+	res := automaton.Compare(opq, BagAutomaton(), history.QueueAlphabet(2), 5)
+	if !res.Equal {
+		t.Errorf("OPQ != Bag: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestDegeneratePriorityQueue(t *testing.T) {
+	checkAccepts(t, DegeneratePriorityQueue(), map[string]bool{
+		"Enq(1)/Ok() Enq(3)/Ok() Deq()/Ok(1)":             true, // out of order
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)":             true, // multiple times
+		"Enq(1)/Ok() Deq()/Ok(2)":                         false,
+		"Deq()/Ok(1)":                                     false,
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1) Deq()/Ok(1)": true,
+	})
+}
+
+func TestSemiqueueAcceptance(t *testing.T) {
+	checkAccepts(t, Semiqueue(2), map[string]bool{
+		"Enq(1)/Ok() Enq(2)/Ok() Enq(3)/Ok() Deq()/Ok(2)":             true,  // within first 2
+		"Enq(1)/Ok() Enq(2)/Ok() Enq(3)/Ok() Deq()/Ok(3)":             false, // beyond k
+		"Enq(1)/Ok() Enq(2)/Ok() Enq(3)/Ok() Deq()/Ok(2) Deq()/Ok(3)": true,
+		"Deq()/Ok(1)":                         false,
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)": false, // removed
+	})
+}
+
+func TestSemiqueue1IsFIFO(t *testing.T) {
+	res := automaton.Compare(Semiqueue(1), FIFOQueue(), history.QueueAlphabet(2), 6)
+	if !res.Equal {
+		t.Errorf("Semiqueue_1 != FIFO: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+// "If k is n, the maximum number of items allowed in the queue, the
+// object is a bag": with histories bounded to length L, queue length
+// never exceeds L, so Semiqueue_L matches the bag up to length L.
+func TestSemiqueueLargeKIsBag(t *testing.T) {
+	const maxLen = 5
+	res := automaton.Compare(Semiqueue(maxLen), BagAutomaton(), history.QueueAlphabet(2), maxLen)
+	if !res.Equal {
+		t.Errorf("Semiqueue_n != Bag: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestStutteringQueueAcceptance(t *testing.T) {
+	checkAccepts(t, StutteringQueue(2), map[string]bool{
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)":                         true,  // twice
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1) Deq()/Ok(1)":             false, // thrice
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(1) Deq()/Ok(1) Deq()/Ok(2)": true,
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)":                         false, // FIFO order kept
+		"Deq()/Ok(1)":                                                 false,
+	})
+}
+
+func TestStuttering1IsFIFO(t *testing.T) {
+	res := automaton.Compare(StutteringQueue(1), FIFOQueue(), history.QueueAlphabet(2), 6)
+	if !res.Equal {
+		t.Errorf("Stuttering_1 != FIFO: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+}
+
+func TestSSQueueCombines(t *testing.T) {
+	// SSqueue_11 is the FIFO queue (Section 4.2.2).
+	res := automaton.Compare(SSQueue(1, 1), FIFOQueue(), history.QueueAlphabet(2), 6)
+	if !res.Equal {
+		t.Fatalf("SSqueue_11 != FIFO: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+	// SSqueue_1k accepts exactly the Semiqueue_k language.
+	res = automaton.Compare(SSQueue(1, 2), Semiqueue(2), history.QueueAlphabet(2), 6)
+	if !res.Equal {
+		t.Fatalf("SSqueue_12 != Semiqueue_2: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+	// SSqueue_j1 accepts exactly the Stuttering_j language.
+	res = automaton.Compare(SSQueue(2, 1), StutteringQueue(2), history.QueueAlphabet(2), 6)
+	if !res.Equal {
+		t.Fatalf("SSqueue_21 != Stuttering_2: onlyA=%v onlyB=%v", res.OnlyA, res.OnlyB)
+	}
+	// The combination is strictly weaker than either projection.
+	ss := SSQueue(2, 2)
+	both := h(history.Enq(1), history.Enq(2), history.DeqOk(2), history.DeqOk(2), history.DeqOk(1))
+	if !automaton.Accepts(ss, both) {
+		t.Errorf("SSqueue_22 should accept out-of-order stutter %v", both)
+	}
+	if automaton.Accepts(Semiqueue(2), both) || automaton.Accepts(StutteringQueue(2), both) {
+		t.Errorf("projections should reject %v", both)
+	}
+}
+
+func TestSSQueueLatticeOrder(t *testing.T) {
+	// Larger j, k accept more: SSqueue_11 ⊆ SSqueue_12 ⊆ SSqueue_22.
+	alphabet := history.QueueAlphabet(2)
+	a := SSQueue(1, 1)
+	b := SSQueue(1, 2)
+	c := SSQueue(2, 2)
+	if res := automaton.Compare(a, b, alphabet, 5); !res.SubsetAB() {
+		t.Errorf("SSqueue_11 ⊄ SSqueue_12: %v", res.OnlyA)
+	}
+	if res := automaton.Compare(b, c, alphabet, 5); !res.SubsetAB() {
+		t.Errorf("SSqueue_12 ⊄ SSqueue_22: %v", res.OnlyA)
+	}
+}
+
+func TestRelaxedQueuePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"semiqueue0":  func() { Semiqueue(0) },
+		"stuttering0": func() { StutteringQueue(0) },
+		"ssqueue0":    func() { SSQueue(0, 1) },
+		"ssqueue0k":   func() { SSQueue(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMalformedOpsRejected(t *testing.T) {
+	autos := []automaton.Automaton{
+		BagAutomaton(), FIFOQueue(), PriorityQueue(), MultiPriorityQueue(),
+		DegeneratePriorityQueue(), Semiqueue(2), StutteringQueue(2), SSQueue(2, 2),
+	}
+	bad := []history.Op{
+		history.MakeOp("Enq", []int{1, 2}, history.Ok, nil),   // wrong arity
+		history.MakeOp("Enq", []int{1}, "Boom", nil),          // wrong term
+		history.MakeOp("Deq", nil, history.Ok, []int{1, 2}),   // wrong arity
+		history.MakeOp("Deq", []int{1}, history.Ok, []int{1}), // arg on Deq
+	}
+	for _, a := range autos {
+		// Prime with an Enq so Deq preconditions hold.
+		prefix := h(history.Enq(1))
+		for _, op := range bad {
+			if automaton.Accepts(a, prefix.Append(op)) {
+				t.Errorf("%s accepted malformed op %v", a.Name(), op)
+			}
+		}
+	}
+}
+
+func TestMultiFIFOQueueInPackage(t *testing.T) {
+	mfq := MultiFIFOQueue()
+	checkAccepts(t, mfq, map[string]bool{
+		"Enq(1)/Ok() Deq()/Ok(1) Deq()/Ok(1)": true,  // re-serve oldest
+		"Enq(1)/Ok() Enq(2)/Ok() Deq()/Ok(2)": false, // out of arrival order
+		"Enq(1)/Ok() Deq()/Ok(2)":             false,
+	})
+	bad := []history.Op{
+		history.MakeOp("Enq", []int{1, 2}, history.Ok, nil),
+		history.MakeOp("Deq", nil, "Weird", []int{1}),
+	}
+	prefix := h(history.Enq(1))
+	for _, op := range bad {
+		if automaton.Accepts(mfq, prefix.Append(op)) {
+			t.Errorf("MFQ accepted malformed %v", op)
+		}
+	}
+}
+
+func TestStateCastPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bag": func() { BagAutomaton().Step(value.EmptySeq(), history.Enq(1)) },
+		"seq": func() { FIFOQueue().Step(value.EmptyBag(), history.Enq(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on foreign state type", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

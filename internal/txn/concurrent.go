@@ -1,0 +1,81 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+
+	"relaxlattice/internal/value"
+)
+
+// ConcurrentQueue wraps Queue for use from multiple goroutines: Deq
+// under the Blocking strategy waits (on a condition variable) until the
+// conflicting transaction finishes, which is how the strict FIFO
+// spooler serializes concurrent printer controllers — and exactly the
+// concurrency cost the relaxed strategies avoid (Section 4.2).
+type ConcurrentQueue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    *Queue
+}
+
+// NewConcurrentQueue builds a goroutine-safe transactional queue.
+func NewConcurrentQueue(strategy Strategy) *ConcurrentQueue {
+	cq := &ConcurrentQueue{q: NewQueue(strategy)}
+	cq.cond = sync.NewCond(&cq.mu)
+	return cq
+}
+
+// Begin starts a transaction.
+func (cq *ConcurrentQueue) Begin() ID {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.q.Begin()
+}
+
+// Enq appends an item on behalf of t.
+func (cq *ConcurrentQueue) Enq(t ID, e value.Elem) error {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.q.Enq(t, e)
+}
+
+// Deq dequeues on behalf of t. Under the Blocking strategy it waits for
+// conflicting transactions instead of returning ErrBlocked.
+func (cq *ConcurrentQueue) Deq(t ID) (value.Elem, error) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	for {
+		e, err := cq.q.Deq(t)
+		if errors.Is(err, ErrBlocked) {
+			cq.cond.Wait()
+			continue
+		}
+		return e, err
+	}
+}
+
+// Commit commits t and wakes blocked dequeuers.
+func (cq *ConcurrentQueue) Commit(t ID) error {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	err := cq.q.Commit(t)
+	cq.cond.Broadcast()
+	return err
+}
+
+// AbortTxn aborts t and wakes blocked dequeuers.
+func (cq *ConcurrentQueue) AbortTxn(t ID) error {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	err := cq.q.AbortTxn(t)
+	cq.cond.Broadcast()
+	return err
+}
+
+// Snapshot returns the schedule executed so far and the concurrency
+// high-water mark.
+func (cq *ConcurrentQueue) Snapshot() (Schedule, int) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	return cq.q.Schedule(), cq.q.MaxConcurrentDequeuers()
+}

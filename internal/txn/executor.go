@@ -1,0 +1,173 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrRetriesExhausted is returned by Executor.Run when a transaction
+// body keeps deadlocking past the retry budget.
+var ErrRetriesExhausted = errors.New("txn: deadlock retries exhausted")
+
+// ConcurrentStore wraps Store for goroutine use: lock conflicts wait on
+// a condition variable instead of returning ErrWouldBlock, and
+// deadlocks surface as ErrDeadlock for the executor to retry.
+type ConcurrentStore struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	s    *Store
+}
+
+// NewConcurrentStore builds a goroutine-safe transactional store.
+func NewConcurrentStore() *ConcurrentStore {
+	cs := &ConcurrentStore{s: NewStore()}
+	cs.cond = sync.NewCond(&cs.mu)
+	return cs
+}
+
+// Begin starts a transaction.
+func (cs *ConcurrentStore) Begin() ID {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.s.Begin()
+}
+
+// withWait retries fn while it reports ErrWouldBlock, waiting for lock
+// releases; ErrDeadlock is returned to the caller (who must abort).
+func (cs *ConcurrentStore) withWait(fn func() error) error {
+	for {
+		err := fn()
+		if !errors.Is(err, ErrWouldBlock) {
+			return err
+		}
+		cs.cond.Wait()
+	}
+}
+
+// Credit adds n to the account on behalf of t, waiting for locks.
+func (cs *ConcurrentStore) Credit(t ID, account string, n int) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.withWait(func() error { return cs.s.Credit(t, account, n) })
+}
+
+// Debit subtracts n, waiting for locks; it returns the termination
+// condition as Store.Debit does.
+func (cs *ConcurrentStore) Debit(t ID, account string, n int) (term string, err error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var result string
+	err = cs.withWait(func() error {
+		tm, err := cs.s.Debit(t, account, n)
+		result = string(tm)
+		return err
+	})
+	return result, err
+}
+
+// Balance reads the balance t observes, waiting for locks.
+func (cs *ConcurrentStore) Balance(t ID, account string) (int, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	var bal int
+	err := cs.withWait(func() error {
+		b, err := cs.s.Balance(t, account)
+		bal = b
+		return err
+	})
+	return bal, err
+}
+
+// Commit commits t and wakes waiters.
+func (cs *ConcurrentStore) Commit(t ID) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	err := cs.s.Commit(t)
+	cs.cond.Broadcast()
+	return err
+}
+
+// Abort aborts t and wakes waiters.
+func (cs *ConcurrentStore) Abort(t ID) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	err := cs.s.Abort(t)
+	cs.cond.Broadcast()
+	return err
+}
+
+// Snapshot returns committed balances and per-account schedules.
+func (cs *ConcurrentStore) Snapshot() (balances map[string]int, schedules map[string]Schedule) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	balances = map[string]int{}
+	schedules = map[string]Schedule{}
+	for _, a := range cs.s.Accounts() {
+		balances[a] = cs.s.CommittedBalance(a)
+		schedules[a] = cs.s.ScheduleFor(a)
+	}
+	return balances, schedules
+}
+
+// Tx is the handle a transaction body uses inside Executor.Run.
+type Tx struct {
+	cs *ConcurrentStore
+	id ID
+}
+
+// ID returns the transaction identifier.
+func (tx *Tx) ID() ID { return tx.id }
+
+// Credit adds n to the account.
+func (tx *Tx) Credit(account string, n int) error { return tx.cs.Credit(tx.id, account, n) }
+
+// Debit subtracts n; Over terminations are reported via the returned
+// string, not an error.
+func (tx *Tx) Debit(account string, n int) (string, error) { return tx.cs.Debit(tx.id, account, n) }
+
+// Balance reads the account balance.
+func (tx *Tx) Balance(account string) (int, error) { return tx.cs.Balance(tx.id, account) }
+
+// Executor runs transaction bodies against a ConcurrentStore with
+// automatic abort-and-retry on deadlock — the standard strict-2PL
+// execution discipline.
+type Executor struct {
+	Store *ConcurrentStore
+	// MaxRetries bounds deadlock retries per body (default 10).
+	MaxRetries int
+}
+
+// NewExecutor builds an executor over a fresh store.
+func NewExecutor() *Executor {
+	return &Executor{Store: NewConcurrentStore(), MaxRetries: 10}
+}
+
+// Run executes body in a transaction: commit on nil, abort on error.
+// Deadlocks abort and retry the whole body. A body returning an error
+// aborts and passes the error through.
+func (e *Executor) Run(body func(tx *Tx) error) error {
+	retries := e.MaxRetries
+	if retries <= 0 {
+		retries = 10
+	}
+	for attempt := 0; attempt <= retries; attempt++ {
+		t := e.Store.Begin()
+		err := body(&Tx{cs: e.Store, id: t})
+		switch {
+		case err == nil:
+			return e.Store.Commit(t)
+		case errors.Is(err, ErrDeadlock):
+			if abortErr := e.Store.Abort(t); abortErr != nil {
+				return abortErr
+			}
+			continue
+		default:
+			if abortErr := e.Store.Abort(t); abortErr != nil {
+				return fmt.Errorf("%v (abort: %w)", err, abortErr)
+			}
+			return err
+		}
+	}
+	return ErrRetriesExhausted
+}

@@ -1,0 +1,155 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Lock modes.
+type LockMode int
+
+// Shared permits concurrent readers; Exclusive permits one owner.
+const (
+	Shared LockMode = iota + 1
+	Exclusive
+)
+
+// ErrDeadlock is returned when granting a lock would create a cycle in
+// the wait-for graph.
+var ErrDeadlock = errors.New("txn: deadlock")
+
+// ErrWouldBlock is returned by TryAcquire when the lock is unavailable.
+var ErrWouldBlock = errors.New("txn: lock unavailable")
+
+// LockManager is a strict two-phase-locking table over named resources:
+// locks are held until ReleaseAll at commit or abort, which is the
+// discipline that yields hybrid atomic schedules (Section 4.1). It is a
+// logical lock table for deterministic simulations — acquisition either
+// succeeds, reports it would block (with deadlock detection), or
+// reports deadlock; actual waiting is the caller's concern.
+type LockManager struct {
+	holders map[string]map[ID]LockMode // resource → holder → mode
+	waits   map[ID]map[ID]bool         // wait-for graph: waiter → holders
+}
+
+// NewLockManager returns an empty lock table.
+func NewLockManager() *LockManager {
+	return &LockManager{
+		holders: map[string]map[ID]LockMode{},
+		waits:   map[ID]map[ID]bool{},
+	}
+}
+
+// compatible reports whether a transaction may take mode on a resource
+// given the current holders.
+func (lm *LockManager) conflicts(res string, t ID, mode LockMode) []ID {
+	var out []ID
+	for holder, held := range lm.holders[res] {
+		if holder == t {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			out = append(out, holder)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TryAcquire attempts to take a lock without waiting. On conflict it
+// records the wait-for edges and returns ErrWouldBlock, or ErrDeadlock
+// if waiting would close a cycle. Re-acquiring a held lock upgrades it
+// when possible.
+func (lm *LockManager) TryAcquire(t ID, res string, mode LockMode) error {
+	if held, ok := lm.holders[res][t]; ok && (held == Exclusive || held == mode) {
+		return nil // already held at sufficient strength
+	}
+	conflicts := lm.conflicts(res, t, mode)
+	if len(conflicts) == 0 {
+		if lm.holders[res] == nil {
+			lm.holders[res] = map[ID]LockMode{}
+		}
+		lm.holders[res][t] = maxMode(lm.holders[res][t], mode)
+		delete(lm.waits, t)
+		return nil
+	}
+	// Record the wait and check for a cycle.
+	if lm.waits[t] == nil {
+		lm.waits[t] = map[ID]bool{}
+	}
+	for _, h := range conflicts {
+		lm.waits[t][h] = true
+	}
+	if lm.cycleFrom(t) {
+		delete(lm.waits, t)
+		return fmt.Errorf("%w: T%d on %q", ErrDeadlock, int(t), res)
+	}
+	return fmt.Errorf("%w: T%d on %q held by %v", ErrWouldBlock, int(t), res, conflicts)
+}
+
+func maxMode(a, b LockMode) LockMode {
+	if a == Exclusive || b == Exclusive {
+		return Exclusive
+	}
+	return Shared
+}
+
+// cycleFrom reports whether the wait-for graph has a cycle reachable
+// from t.
+func (lm *LockManager) cycleFrom(t ID) bool {
+	seen := map[ID]bool{}
+	var dfs func(x ID) bool
+	dfs = func(x ID) bool {
+		if x == t && len(seen) > 0 {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for next := range lm.waits[x] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for next := range lm.waits[t] {
+		if dfs(next) {
+			return true
+		}
+	}
+	return false
+}
+
+// Holds reports whether t holds res at least at the given mode.
+func (lm *LockManager) Holds(t ID, res string, mode LockMode) bool {
+	held, ok := lm.holders[res][t]
+	return ok && (held == Exclusive || held == mode)
+}
+
+// ReleaseAll releases every lock held by t (strictness: only at commit
+// or abort) and clears its waits.
+func (lm *LockManager) ReleaseAll(t ID) {
+	for res, holders := range lm.holders {
+		delete(holders, t)
+		if len(holders) == 0 {
+			delete(lm.holders, res)
+		}
+	}
+	delete(lm.waits, t)
+	for _, waiters := range lm.waits {
+		delete(waiters, t)
+	}
+}
+
+// HeldBy returns the transactions holding res, sorted.
+func (lm *LockManager) HeldBy(res string) []ID {
+	var out []ID
+	for t := range lm.holders[res] {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

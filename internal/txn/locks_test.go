@@ -1,0 +1,134 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"relaxlattice/internal/specs"
+)
+
+func TestLockBasics(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.TryAcquire(1, "q", Exclusive); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	if !lm.Holds(1, "q", Exclusive) {
+		t.Errorf("Holds wrong")
+	}
+	// Re-acquire is idempotent.
+	if err := lm.TryAcquire(1, "q", Exclusive); err != nil {
+		t.Errorf("re-acquire: %v", err)
+	}
+	// Conflict.
+	if err := lm.TryAcquire(2, "q", Shared); !errors.Is(err, ErrWouldBlock) {
+		t.Errorf("expected ErrWouldBlock, got %v", err)
+	}
+	// Release frees it.
+	lm.ReleaseAll(1)
+	if err := lm.TryAcquire(2, "q", Shared); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	lm := NewLockManager()
+	if err := lm.TryAcquire(1, "q", Shared); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := lm.TryAcquire(2, "q", Shared); err != nil {
+		t.Fatalf("shared locks should coexist: %v", err)
+	}
+	// Exclusive conflicts with both.
+	if err := lm.TryAcquire(3, "q", Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Errorf("expected ErrWouldBlock, got %v", err)
+	}
+	held := lm.HeldBy("q")
+	if len(held) != 2 || held[0] != 1 || held[1] != 2 {
+		t.Errorf("HeldBy = %v", held)
+	}
+}
+
+func TestLockUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	_ = lm.TryAcquire(1, "q", Shared)
+	// Sole shared holder upgrades.
+	if err := lm.TryAcquire(1, "q", Exclusive); err != nil {
+		t.Fatalf("upgrade: %v", err)
+	}
+	if !lm.Holds(1, "q", Exclusive) {
+		t.Errorf("upgrade not recorded")
+	}
+	// Upgrade blocked by another shared holder.
+	lm2 := NewLockManager()
+	_ = lm2.TryAcquire(1, "q", Shared)
+	_ = lm2.TryAcquire(2, "q", Shared)
+	if err := lm2.TryAcquire(1, "q", Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Errorf("upgrade should block: %v", err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	lm := NewLockManager()
+	_ = lm.TryAcquire(1, "a", Exclusive)
+	_ = lm.TryAcquire(2, "b", Exclusive)
+	// T1 waits for b (held by T2).
+	if err := lm.TryAcquire(1, "b", Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("expected block: %v", err)
+	}
+	// T2 waiting for a would close the cycle.
+	if err := lm.TryAcquire(2, "a", Exclusive); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected ErrDeadlock, got %v", err)
+	}
+	// After T1 releases, T2 can proceed.
+	lm.ReleaseAll(1)
+	if err := lm.TryAcquire(2, "a", Exclusive); err != nil {
+		t.Errorf("after release: %v", err)
+	}
+}
+
+func TestHoldsModeSemantics(t *testing.T) {
+	lm := NewLockManager()
+	_ = lm.TryAcquire(1, "q", Shared)
+	if !lm.Holds(1, "q", Shared) {
+		t.Errorf("shared not held")
+	}
+	if lm.Holds(1, "q", Exclusive) {
+		t.Errorf("shared should not satisfy exclusive")
+	}
+	if lm.Holds(2, "q", Shared) {
+		t.Errorf("non-holder holds")
+	}
+}
+
+// Strict 2PL via the lock manager yields hybrid atomic schedules: a
+// transcript where each Deq takes the queue's exclusive lock first.
+func TestStrict2PLYieldsHybridAtomicity(t *testing.T) {
+	lm := NewLockManager()
+	q := NewQueue(Blocking)
+	seed(t, q, 2)
+	t1 := q.Begin()
+	if err := lm.TryAcquire(t1, "queue", Exclusive); err != nil {
+		t.Fatalf("lock: %v", err)
+	}
+	if _, err := q.Deq(t1); err != nil {
+		t.Fatalf("Deq: %v", err)
+	}
+	// A second dequeuer cannot take the lock while T1 holds it.
+	t2 := q.Begin()
+	if err := lm.TryAcquire(t2, "queue", Exclusive); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("2PL should block T2: %v", err)
+	}
+	_ = q.Commit(t1)
+	lm.ReleaseAll(t1)
+	if err := lm.TryAcquire(t2, "queue", Exclusive); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+	if _, err := q.Deq(t2); err != nil {
+		t.Fatalf("Deq: %v", err)
+	}
+	_ = q.Commit(t2)
+	lm.ReleaseAll(t2)
+	if !HybridAtomic(q.Schedule(), specs.FIFOQueue()) {
+		t.Errorf("2PL schedule not hybrid atomic: %v", q.Schedule())
+	}
+}

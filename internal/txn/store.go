@@ -1,0 +1,198 @@
+package txn
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/history"
+)
+
+// Store is a transactional multi-account bank implementing atomicity
+// with strict two-phase locking — the mechanism Section 4.1 cites as
+// guaranteeing hybrid atomicity. Each account is a named resource
+// protected by the lock table; transactions acquire exclusive locks on
+// the accounts they touch and hold them until commit or abort, so the
+// per-account schedules serialize in commit order against the
+// BankAccount automaton of Section 3.4.
+//
+// Store is a logical, non-blocking runtime like Queue: lock conflicts
+// surface as ErrWouldBlock/ErrDeadlock and the caller decides whether
+// to wait (see ConcurrentStore) or abort.
+type Store struct {
+	lm        *LockManager
+	balances  map[string]int
+	txns      map[ID]*storeTxn
+	status    map[ID]Status
+	schedules map[string]Schedule
+	nextID    ID
+}
+
+type storeTxn struct {
+	deltas  map[string]int          // uncommitted balance changes
+	ops     map[string][]history.Op // executed ops per account
+	touched []string                // account order of first touch
+}
+
+// NewStore builds an empty store; accounts spring into existence with a
+// zero balance on first touch.
+func NewStore() *Store {
+	return &Store{
+		lm:        NewLockManager(),
+		balances:  map[string]int{},
+		txns:      map[ID]*storeTxn{},
+		status:    map[ID]Status{},
+		schedules: map[string]Schedule{},
+	}
+}
+
+// Begin starts a transaction.
+func (s *Store) Begin() ID {
+	s.nextID++
+	s.status[s.nextID] = StatusActive
+	s.txns[s.nextID] = &storeTxn{deltas: map[string]int{}, ops: map[string][]history.Op{}}
+	return s.nextID
+}
+
+func (s *Store) active(t ID) (*storeTxn, error) {
+	if s.status[t] != StatusActive {
+		return nil, fmt.Errorf("%w: T%d", ErrFinished, int(t))
+	}
+	return s.txns[t], nil
+}
+
+// lock takes the account's exclusive lock, surfacing ErrWouldBlock or
+// ErrDeadlock from the lock table.
+func (s *Store) lock(t ID, account string) error {
+	return s.lm.TryAcquire(t, account, Exclusive)
+}
+
+func (s *Store) record(tx *storeTxn, t ID, account string, op history.Op) {
+	if _, seen := tx.ops[account]; !seen {
+		tx.touched = append(tx.touched, account)
+	}
+	tx.ops[account] = append(tx.ops[account], op)
+	s.schedules[account] = s.schedules[account].Append(Step(t, op))
+}
+
+// view returns the balance transaction t observes: committed balance
+// plus its own uncommitted deltas (it holds the lock, so no other
+// deltas exist).
+func (s *Store) view(tx *storeTxn, account string) int {
+	return s.balances[account] + tx.deltas[account]
+}
+
+// Credit adds n to the account on behalf of t.
+func (s *Store) Credit(t ID, account string, n int) error {
+	tx, err := s.active(t)
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("txn: negative credit %d", n)
+	}
+	if err := s.lock(t, account); err != nil {
+		return err
+	}
+	tx.deltas[account] += n
+	s.record(tx, t, account, history.Credit(n))
+	return nil
+}
+
+// Debit subtracts n from the account on behalf of t, returning the
+// termination condition: Ok on success, Over (with no balance change)
+// when the visible balance cannot cover n.
+func (s *Store) Debit(t ID, account string, n int) (history.Term, error) {
+	tx, err := s.active(t)
+	if err != nil {
+		return "", err
+	}
+	if n < 0 {
+		return "", fmt.Errorf("txn: negative debit %d", n)
+	}
+	if err := s.lock(t, account); err != nil {
+		return "", err
+	}
+	if n > s.view(tx, account) {
+		s.record(tx, t, account, history.DebitOver(n))
+		return history.Over, nil
+	}
+	tx.deltas[account] -= n
+	s.record(tx, t, account, history.DebitOk(n))
+	return history.Ok, nil
+}
+
+// Balance returns the balance t observes (taking the lock, so the
+// read is repeatable and serializable).
+func (s *Store) Balance(t ID, account string) (int, error) {
+	tx, err := s.active(t)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.lock(t, account); err != nil {
+		return 0, err
+	}
+	return s.view(tx, account), nil
+}
+
+// Commit applies t's deltas and releases its locks (strictness: locks
+// drop only now).
+func (s *Store) Commit(t ID) error {
+	tx, err := s.active(t)
+	if err != nil {
+		return err
+	}
+	for account, delta := range tx.deltas {
+		s.balances[account] += delta
+	}
+	for _, account := range tx.touched {
+		s.schedules[account] = s.schedules[account].Append(Commit(t))
+	}
+	s.finish(t)
+	s.status[t] = StatusCommitted
+	return nil
+}
+
+// Abort discards t's deltas and releases its locks.
+func (s *Store) Abort(t ID) error {
+	tx, err := s.active(t)
+	if err != nil {
+		return err
+	}
+	for _, account := range tx.touched {
+		s.schedules[account] = s.schedules[account].Append(Abort(t))
+	}
+	s.finish(t)
+	s.status[t] = StatusAborted
+	return nil
+}
+
+func (s *Store) finish(t ID) {
+	s.lm.ReleaseAll(t)
+	delete(s.txns, t)
+}
+
+// CommittedBalance returns the committed balance of an account.
+func (s *Store) CommittedBalance(account string) int { return s.balances[account] }
+
+// Accounts returns the accounts with recorded history, sorted.
+func (s *Store) Accounts() []string {
+	out := make([]string, 0, len(s.schedules))
+	for a := range s.schedules {
+		out = append(out, a)
+	}
+	sortStrings(out)
+	return out
+}
+
+// ScheduleFor returns the per-account schedule — each account is an
+// atomic object whose schedule must lie in L(Atomic(BankAccount)).
+func (s *Store) ScheduleFor(account string) Schedule {
+	return s.schedules[account].Append()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package txn
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/specs"
+)
+
+func TestStoreSerialTransactions(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	if err := s.Credit(t1, "alice", 10); err != nil {
+		t.Fatalf("Credit: %v", err)
+	}
+	if term, err := s.Debit(t1, "alice", 4); err != nil || term != history.Ok {
+		t.Fatalf("Debit: %v %v", term, err)
+	}
+	if bal, err := s.Balance(t1, "alice"); err != nil || bal != 6 {
+		t.Fatalf("Balance: %d %v", bal, err)
+	}
+	if err := s.Commit(t1); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if s.CommittedBalance("alice") != 6 {
+		t.Errorf("committed = %d", s.CommittedBalance("alice"))
+	}
+	// Overdraft bounces without changing the balance.
+	t2 := s.Begin()
+	if term, err := s.Debit(t2, "alice", 100); err != nil || term != history.Over {
+		t.Fatalf("over-debit: %v %v", term, err)
+	}
+	if err := s.Commit(t2); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if s.CommittedBalance("alice") != 6 {
+		t.Errorf("bounce changed balance: %d", s.CommittedBalance("alice"))
+	}
+	// The per-account schedule is hybrid atomic against BankAccount.
+	sched := s.ScheduleFor("alice")
+	if !HybridAtomic(sched, specs.BankAccount()) {
+		t.Errorf("schedule not hybrid atomic: %v", sched)
+	}
+}
+
+func TestStoreAbortDiscards(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	_ = s.Credit(t1, "a", 5)
+	if err := s.Abort(t1); err != nil {
+		t.Fatalf("Abort: %v", err)
+	}
+	if s.CommittedBalance("a") != 0 {
+		t.Errorf("aborted credit applied")
+	}
+	// Aborted ops vanish from perm: schedule still atomic.
+	if !HybridAtomic(s.ScheduleFor("a"), specs.BankAccount()) {
+		t.Errorf("schedule with abort not atomic")
+	}
+	// Finished transactions are rejected.
+	if err := s.Credit(t1, "a", 1); !errors.Is(err, ErrFinished) {
+		t.Errorf("credit after abort: %v", err)
+	}
+	if _, err := s.Debit(t1, "a", 1); !errors.Is(err, ErrFinished) {
+		t.Errorf("debit after abort: %v", err)
+	}
+	if _, err := s.Balance(t1, "a"); !errors.Is(err, ErrFinished) {
+		t.Errorf("balance after abort: %v", err)
+	}
+	if err := s.Commit(t1); !errors.Is(err, ErrFinished) {
+		t.Errorf("commit after abort: %v", err)
+	}
+}
+
+func TestStoreLockConflicts(t *testing.T) {
+	s := NewStore()
+	t1, t2 := s.Begin(), s.Begin()
+	if err := s.Credit(t1, "a", 5); err != nil {
+		t.Fatalf("Credit: %v", err)
+	}
+	// t2 conflicts on the same account.
+	if err := s.Credit(t2, "a", 3); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("expected ErrWouldBlock, got %v", err)
+	}
+	// Strictness: the lock is held until commit, not op end.
+	if _, err := s.Balance(t2, "a"); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("lock released early: %v", err)
+	}
+	_ = s.Commit(t1)
+	if err := s.Credit(t2, "a", 3); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	_ = s.Commit(t2)
+	if s.CommittedBalance("a") != 8 {
+		t.Errorf("balance = %d", s.CommittedBalance("a"))
+	}
+}
+
+func TestStoreDeadlock(t *testing.T) {
+	s := NewStore()
+	t1, t2 := s.Begin(), s.Begin()
+	_ = s.Credit(t1, "a", 1)
+	_ = s.Credit(t2, "b", 1)
+	if err := s.Credit(t1, "b", 1); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("t1 on b: %v", err)
+	}
+	if err := s.Credit(t2, "a", 1); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestStoreRejectsNegativeAmounts(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	if err := s.Credit(t1, "a", -1); err == nil {
+		t.Errorf("negative credit accepted")
+	}
+	if _, err := s.Debit(t1, "a", -1); err == nil {
+		t.Errorf("negative debit accepted")
+	}
+}
+
+func TestStoreAccounts(t *testing.T) {
+	s := NewStore()
+	t1 := s.Begin()
+	_ = s.Credit(t1, "zeta", 1)
+	_ = s.Credit(t1, "alpha", 1)
+	_ = s.Commit(t1)
+	got := s.Accounts()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "zeta" {
+		t.Errorf("Accounts = %v", got)
+	}
+}
+
+// Concurrent transfers under the executor: money is conserved, no
+// account goes negative, and every per-account schedule is hybrid
+// atomic for the BankAccount automaton.
+func TestExecutorConcurrentTransfers(t *testing.T) {
+	e := NewExecutor()
+	accounts := []string{"a", "b", "c"}
+	// Fund each account with 100.
+	for _, acct := range accounts {
+		acct := acct
+		if err := e.Run(func(tx *Tx) error { return tx.Credit(acct, 100) }); err != nil {
+			t.Fatalf("fund %s: %v", acct, err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				from := accounts[(w+i)%3]
+				to := accounts[(w+i+1)%3]
+				err := e.Run(func(tx *Tx) error {
+					// Lock order varies per goroutine: deadlocks happen
+					// and must be retried.
+					term, err := tx.Debit(from, 5)
+					if err != nil {
+						return err
+					}
+					if term == string(history.Over) {
+						return nil // insufficient funds; fine
+					}
+					return tx.Credit(to, 5)
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("transfer: %v", err)
+	}
+	balances, schedules := e.Store.Snapshot()
+	total := 0
+	for _, acct := range accounts {
+		bal := balances[acct]
+		if bal < 0 {
+			t.Errorf("account %s overdrawn: %d", acct, bal)
+		}
+		total += bal
+		if !HybridAtomic(schedules[acct], specs.BankAccount()) {
+			t.Errorf("account %s schedule not hybrid atomic:\n%v", acct, schedules[acct])
+		}
+	}
+	if total != 300 {
+		t.Errorf("money not conserved: %d", total)
+	}
+}
+
+func TestExecutorBodyErrorAborts(t *testing.T) {
+	e := NewExecutor()
+	boom := errors.New("boom")
+	err := e.Run(func(tx *Tx) error {
+		if err := tx.Credit("x", 5); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	balances, _ := e.Store.Snapshot()
+	if balances["x"] != 0 {
+		t.Errorf("aborted body applied: %d", balances["x"])
+	}
+}
+
+func TestExecutorBalanceRead(t *testing.T) {
+	e := NewExecutor()
+	if err := e.Run(func(tx *Tx) error { return tx.Credit("x", 7) }); err != nil {
+		t.Fatal(err)
+	}
+	var saw int
+	err := e.Run(func(tx *Tx) error {
+		b, err := tx.Balance("x")
+		saw = b
+		return err
+	})
+	if err != nil || saw != 7 {
+		t.Errorf("balance read = %d, %v", saw, err)
+	}
+	err = e.Run(func(tx *Tx) error {
+		if tx.ID() == 0 {
+			t.Errorf("zero txn id")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Errorf("empty body: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Bag is the multiset trait of Figure 2-1, extended with the best
+// operator of the priority-queue trait (Figure 3-1; best assumes the
+// total order on Elem). A Bag is immutable; its canonical form keeps
+// elements sorted ascending, which realizes the intended multiset
+// semantics of the trait (terms equal up to insertion order denote the
+// same value).
+type Bag struct {
+	items []Elem // sorted ascending
+}
+
+// EmptyBag returns emp, the empty bag.
+func EmptyBag() Bag { return Bag{} }
+
+// BagOf builds a bag containing the given elements.
+func BagOf(elems ...Elem) Bag {
+	return Bag{items: sortedCopy(elems)}
+}
+
+func (b Bag) search(e Elem) int {
+	return sort.Search(len(b.items), func(i int) bool { return b.items[i] >= e })
+}
+
+// Ins returns ins(b, e).
+func (b Bag) Ins(e Elem) Bag {
+	i := b.search(e)
+	out := make([]Elem, 0, len(b.items)+1)
+	out = append(out, b.items[:i]...)
+	out = append(out, e)
+	out = append(out, b.items[i:]...)
+	return Bag{items: out}
+}
+
+// Del returns del(b, e): b with one occurrence of e removed, or b
+// unchanged when e is absent (del(emp, e) = emp).
+func (b Bag) Del(e Elem) Bag {
+	i := b.search(e)
+	if i >= len(b.items) || b.items[i] != e {
+		return b
+	}
+	out := make([]Elem, 0, len(b.items)-1)
+	out = append(out, b.items[:i]...)
+	out = append(out, b.items[i+1:]...)
+	return Bag{items: out}
+}
+
+// IsEmp reports isEmp(b).
+func (b Bag) IsEmp() bool { return len(b.items) == 0 }
+
+// IsIn reports isIn(b, e).
+func (b Bag) IsIn(e Elem) bool {
+	i := b.search(e)
+	return i < len(b.items) && b.items[i] == e
+}
+
+// Count returns the multiplicity of e in b.
+func (b Bag) Count(e Elem) int {
+	n := 0
+	for _, x := range b.items {
+		if x == e {
+			n++
+		}
+	}
+	return n
+}
+
+// Size returns the total number of elements (with multiplicity).
+func (b Bag) Size() int { return len(b.items) }
+
+// Best returns best(b), the highest-priority (largest) element, per the
+// priority-queue trait of Figure 3-1. ok is false when b is empty
+// (best(emp) is unspecified by the trait).
+func (b Bag) Best() (e Elem, ok bool) {
+	if len(b.items) == 0 {
+		return 0, false
+	}
+	return b.items[len(b.items)-1], true
+}
+
+// Elems returns the elements in ascending order (a copy).
+func (b Bag) Elems() []Elem { return copyElems(b.items) }
+
+// Equal reports whether two bags hold the same multiset.
+func (b Bag) Equal(other Bag) bool { return b.Key() == other.Key() }
+
+// Key returns the canonical encoding.
+func (b Bag) Key() string { return "B" + elemsKey(b.items) }
+
+// String renders the bag as e.g. "{1 2 2 5}".
+func (b Bag) String() string {
+	return "{" + strings.Trim(elemsKey(b.items), "[]") + "}"
+}

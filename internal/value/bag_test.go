@@ -1,0 +1,182 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// bagFrom interprets a byte string as a sequence of ins operations.
+func bagFrom(xs []uint8) Bag {
+	b := EmptyBag()
+	for _, x := range xs {
+		b = b.Ins(Elem(x % 8))
+	}
+	return b
+}
+
+func TestBagBasics(t *testing.T) {
+	b := EmptyBag()
+	if !b.IsEmp() || b.Size() != 0 {
+		t.Fatalf("empty bag: %v", b)
+	}
+	b = b.Ins(3).Ins(1).Ins(3)
+	if b.IsEmp() || b.Size() != 3 {
+		t.Fatalf("bag after ins: %v", b)
+	}
+	if !b.IsIn(3) || !b.IsIn(1) || b.IsIn(2) {
+		t.Errorf("membership wrong: %v", b)
+	}
+	if b.Count(3) != 2 || b.Count(1) != 1 || b.Count(9) != 0 {
+		t.Errorf("count wrong: %v", b)
+	}
+}
+
+// The paper's worked equation: del(ins(ins(emp,3),3),3) = ins(emp,3).
+func TestBagPaperEquation(t *testing.T) {
+	lhs := EmptyBag().Ins(3).Ins(3).Del(3)
+	rhs := EmptyBag().Ins(3)
+	if !lhs.Equal(rhs) {
+		t.Errorf("del(ins(ins(emp,3),3),3) = %v, want %v", lhs, rhs)
+	}
+}
+
+// Axiom: del(emp, e) = emp.
+func TestBagAxiomDelEmp(t *testing.T) {
+	for e := Elem(0); e < 5; e++ {
+		if !EmptyBag().Del(e).Equal(EmptyBag()) {
+			t.Errorf("del(emp, %d) != emp", e)
+		}
+	}
+}
+
+// Axiom: del(ins(b,e), e1) = if e = e1 then b else ins(del(b,e1), e).
+func TestBagAxiomDelIns(t *testing.T) {
+	f := func(xs []uint8, e0, e10 uint8) bool {
+		b := bagFrom(xs)
+		e, e1 := Elem(e0%8), Elem(e10%8)
+		lhs := b.Ins(e).Del(e1)
+		var rhs Bag
+		if e == e1 {
+			rhs = b
+		} else {
+			rhs = b.Del(e1).Ins(e)
+		}
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Axioms: isEmp(emp) = true; isEmp(ins(b,e)) = false.
+func TestBagAxiomIsEmp(t *testing.T) {
+	f := func(xs []uint8, e uint8) bool {
+		return EmptyBag().IsEmp() && !bagFrom(xs).Ins(Elem(e%8)).IsEmp()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Axioms: isIn(emp,e) = false; isIn(ins(b,e), e1) = (e = e1) ∨ isIn(b, e1).
+func TestBagAxiomIsIn(t *testing.T) {
+	f := func(xs []uint8, e0, e10 uint8) bool {
+		b := bagFrom(xs)
+		e, e1 := Elem(e0%8), Elem(e10%8)
+		if EmptyBag().IsIn(e) {
+			return false
+		}
+		return b.Ins(e).IsIn(e1) == ((e == e1) || b.IsIn(e1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Multiset semantics: insertion order does not matter.
+func TestBagInsertionOrderIrrelevant(t *testing.T) {
+	f := func(xs []uint8) bool {
+		fwd := bagFrom(xs)
+		rev := EmptyBag()
+		for i := len(xs) - 1; i >= 0; i-- {
+			rev = rev.Ins(Elem(xs[i] % 8))
+		}
+		return fwd.Equal(rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Priority-queue trait (Figure 3-1) axiom:
+// best(ins(q,e)) = if isEmp(q) then e else if e > best(q) then e else best(q).
+func TestBagAxiomBest(t *testing.T) {
+	f := func(xs []uint8, e0 uint8) bool {
+		q := bagFrom(xs)
+		e := Elem(e0 % 8)
+		got, ok := q.Ins(e).Best()
+		if !ok {
+			return false // ins never empty
+		}
+		if q.IsEmp() {
+			return got == e
+		}
+		prev, _ := q.Best()
+		want := prev
+		if e > prev {
+			want = e
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBagBestEmpty(t *testing.T) {
+	if _, ok := EmptyBag().Best(); ok {
+		t.Errorf("best(emp) should not be defined")
+	}
+}
+
+func TestBagImmutability(t *testing.T) {
+	b := BagOf(1, 2, 3)
+	_ = b.Ins(4)
+	_ = b.Del(2)
+	if !b.Equal(BagOf(1, 2, 3)) {
+		t.Errorf("bag mutated: %v", b)
+	}
+	elems := b.Elems()
+	elems[0] = 99
+	if !b.Equal(BagOf(1, 2, 3)) {
+		t.Errorf("bag aliased by Elems: %v", b)
+	}
+}
+
+func TestBagStringAndKey(t *testing.T) {
+	b := BagOf(3, 1, 2)
+	if b.String() != "{1 2 3}" {
+		t.Errorf("String = %q", b.String())
+	}
+	if b.Key() != BagOf(2, 3, 1).Key() {
+		t.Errorf("Key not canonical")
+	}
+	if EmptyBag().String() != "{}" {
+		t.Errorf("empty String = %q", EmptyBag().String())
+	}
+}
+
+// Size/Count consistency: Size = Σ_e Count(e).
+func TestBagSizeCountConsistent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		b := bagFrom(xs)
+		total := 0
+		for e := Elem(0); e < 8; e++ {
+			total += b.Count(e)
+		}
+		return total == b.Size() && b.Size() == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package value
+
+import (
+	"cmp"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Multiset is a generic, immutable multiset over any ordered element
+// type — the Bag trait of Figure 2-1 generalized the way Larch traits
+// are generic in their element sort. Bag is the Elem instantiation used
+// by the automata; Multiset is the reusable form for library users.
+type Multiset[E cmp.Ordered] struct {
+	items []E // sorted ascending
+}
+
+// NewMultiset builds a multiset from elements.
+func NewMultiset[E cmp.Ordered](elems ...E) Multiset[E] {
+	items := append([]E(nil), elems...)
+	sort.Slice(items, func(i, j int) bool { return cmp.Less(items[i], items[j]) })
+	return Multiset[E]{items: items}
+}
+
+func (m Multiset[E]) search(e E) int {
+	return sort.Search(len(m.items), func(i int) bool { return !cmp.Less(m.items[i], e) })
+}
+
+// Ins returns ins(m, e).
+func (m Multiset[E]) Ins(e E) Multiset[E] {
+	i := m.search(e)
+	out := make([]E, 0, len(m.items)+1)
+	out = append(out, m.items[:i]...)
+	out = append(out, e)
+	out = append(out, m.items[i:]...)
+	return Multiset[E]{items: out}
+}
+
+// Del returns del(m, e): one occurrence removed, or m unchanged when e
+// is absent.
+func (m Multiset[E]) Del(e E) Multiset[E] {
+	i := m.search(e)
+	if i >= len(m.items) || m.items[i] != e {
+		return m
+	}
+	out := make([]E, 0, len(m.items)-1)
+	out = append(out, m.items[:i]...)
+	out = append(out, m.items[i+1:]...)
+	return Multiset[E]{items: out}
+}
+
+// IsEmp reports emptiness.
+func (m Multiset[E]) IsEmp() bool { return len(m.items) == 0 }
+
+// IsIn reports membership.
+func (m Multiset[E]) IsIn(e E) bool {
+	i := m.search(e)
+	return i < len(m.items) && m.items[i] == e
+}
+
+// Count returns e's multiplicity.
+func (m Multiset[E]) Count(e E) int {
+	n := 0
+	for i := m.search(e); i < len(m.items) && m.items[i] == e; i++ {
+		n++
+	}
+	return n
+}
+
+// Size returns the total number of elements.
+func (m Multiset[E]) Size() int { return len(m.items) }
+
+// Best returns the largest element (the priority-queue best of
+// Figure 3-1 under the natural order); ok is false when empty.
+func (m Multiset[E]) Best() (e E, ok bool) {
+	if len(m.items) == 0 {
+		var zero E
+		return zero, false
+	}
+	return m.items[len(m.items)-1], true
+}
+
+// Elems returns the elements ascending (a copy).
+func (m Multiset[E]) Elems() []E { return append([]E(nil), m.items...) }
+
+// Equal reports multiset equality.
+func (m Multiset[E]) Equal(other Multiset[E]) bool {
+	if len(m.items) != len(other.items) {
+		return false
+	}
+	for i := range m.items {
+		if m.items[i] != other.items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding.
+func (m Multiset[E]) Key() string {
+	var b strings.Builder
+	b.WriteString("M[")
+	for i, e := range m.items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v", e)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String renders the multiset.
+func (m Multiset[E]) String() string { return m.Key()[1:] }
+
+// Sequence is a generic, immutable FIFO sequence — the FifoQ trait of
+// Figure 2-3 generalized.
+type Sequence[E comparable] struct {
+	items []E // index 0 = oldest
+}
+
+// NewSequence builds a sequence (first argument oldest).
+func NewSequence[E comparable](elems ...E) Sequence[E] {
+	return Sequence[E]{items: append([]E(nil), elems...)}
+}
+
+// Ins appends at the back.
+func (q Sequence[E]) Ins(e E) Sequence[E] {
+	out := make([]E, 0, len(q.items)+1)
+	out = append(out, q.items...)
+	out = append(out, e)
+	return Sequence[E]{items: out}
+}
+
+// First returns the oldest element; ok is false when empty.
+func (q Sequence[E]) First() (e E, ok bool) {
+	if len(q.items) == 0 {
+		var zero E
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Rest drops the oldest element; rest(emp) = emp.
+func (q Sequence[E]) Rest() Sequence[E] {
+	if len(q.items) == 0 {
+		return q
+	}
+	return Sequence[E]{items: append([]E(nil), q.items[1:]...)}
+}
+
+// IsEmp reports emptiness.
+func (q Sequence[E]) IsEmp() bool { return len(q.items) == 0 }
+
+// Size returns the length.
+func (q Sequence[E]) Size() int { return len(q.items) }
+
+// Get returns the element at position i (0 = front).
+func (q Sequence[E]) Get(i int) E { return q.items[i] }
+
+// IsIn reports membership.
+func (q Sequence[E]) IsIn(e E) bool {
+	for _, x := range q.items {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// Elems returns the elements front-to-back (a copy).
+func (q Sequence[E]) Elems() []E { return append([]E(nil), q.items...) }
+
+// Equal reports sequence equality.
+func (q Sequence[E]) Equal(other Sequence[E]) bool {
+	if len(q.items) != len(other.items) {
+		return false
+	}
+	for i := range q.items {
+		if q.items[i] != other.items[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical encoding.
+func (q Sequence[E]) Key() string {
+	var b strings.Builder
+	b.WriteString("G<")
+	for i, e := range q.items {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%v", e)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// String renders the sequence.
+func (q Sequence[E]) String() string { return q.Key()[1:] }

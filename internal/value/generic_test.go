@@ -1,0 +1,152 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func msFrom(xs []uint8) Multiset[int] {
+	m := NewMultiset[int]()
+	for _, x := range xs {
+		m = m.Ins(int(x % 8))
+	}
+	return m
+}
+
+func TestMultisetMirrorsBag(t *testing.T) {
+	// The generic multiset and the Elem-specialized Bag must agree on
+	// every operation for the same inputs.
+	f := func(xs []uint8, e0 uint8) bool {
+		e := int(e0 % 8)
+		m := msFrom(xs)
+		b := bagFrom(xs)
+		if m.Size() != b.Size() || m.IsEmp() != b.IsEmp() {
+			return false
+		}
+		if m.IsIn(e) != b.IsIn(Elem(e)) || m.Count(e) != b.Count(Elem(e)) {
+			return false
+		}
+		mb, okM := m.Best()
+		bb, okB := b.Best()
+		if okM != okB || (okM && mb != int(bb)) {
+			return false
+		}
+		// del agrees.
+		md := m.Del(e)
+		bd := b.Del(Elem(e))
+		return md.Size() == bd.Size() && md.Count(e) == bd.Count(Elem(e))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultisetAxioms(t *testing.T) {
+	f := func(xs []uint8, e0, e10 uint8) bool {
+		m := msFrom(xs)
+		e, e1 := int(e0%8), int(e10%8)
+		// del(ins(m,e),e1) = if e=e1 then m else ins(del(m,e1),e)
+		lhs := m.Ins(e).Del(e1)
+		var rhs Multiset[int]
+		if e == e1 {
+			rhs = m
+		} else {
+			rhs = m.Del(e1).Ins(e)
+		}
+		if !lhs.Equal(rhs) {
+			return false
+		}
+		// isIn(ins(m,e),e1) = (e=e1) ∨ isIn(m,e1)
+		return m.Ins(e).IsIn(e1) == ((e == e1) || m.IsIn(e1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultisetStringTypes(t *testing.T) {
+	ms := NewMultiset("b", "a", "b")
+	if ms.Count("b") != 2 || !ms.IsIn("a") || ms.IsIn("c") {
+		t.Errorf("string multiset wrong: %v", ms)
+	}
+	best, ok := ms.Best()
+	if !ok || best != "b" {
+		t.Errorf("Best = %q", best)
+	}
+	if ms.Key() != NewMultiset("a", "b", "b").Key() {
+		t.Errorf("key not canonical")
+	}
+	empty := NewMultiset[string]()
+	if _, ok := empty.Best(); ok {
+		t.Errorf("Best of empty")
+	}
+	if !empty.Del("x").Equal(empty) {
+		t.Errorf("del on empty changed it")
+	}
+	if len(ms.Elems()) != 3 {
+		t.Errorf("Elems = %v", ms.Elems())
+	}
+	if ms.String() == "" {
+		t.Errorf("empty String")
+	}
+}
+
+func TestSequenceGeneric(t *testing.T) {
+	q := NewSequence("job-a", "job-b")
+	first, ok := q.First()
+	if !ok || first != "job-a" {
+		t.Fatalf("First = %q", first)
+	}
+	q2 := q.Rest().Ins("job-c")
+	if q2.Size() != 2 || q2.Get(0) != "job-b" || q2.Get(1) != "job-c" {
+		t.Errorf("q2 = %v", q2)
+	}
+	if !q.Equal(NewSequence("job-a", "job-b")) {
+		t.Errorf("q mutated")
+	}
+	if !q.IsIn("job-b") || q.IsIn("job-z") {
+		t.Errorf("IsIn wrong")
+	}
+	empty := NewSequence[string]()
+	if !empty.IsEmp() || !empty.Rest().IsEmp() {
+		t.Errorf("empty sequence wrong")
+	}
+	if _, ok := empty.First(); ok {
+		t.Errorf("First of empty")
+	}
+	if q.Key() == NewSequence("job-b", "job-a").Key() {
+		t.Errorf("order must distinguish keys")
+	}
+	if len(q.Elems()) != 2 || q.String() == "" {
+		t.Errorf("Elems/String wrong")
+	}
+}
+
+// The generic sequence mirrors the Elem-specialized Seq.
+func TestSequenceMirrorsSeq(t *testing.T) {
+	f := func(xs []uint8) bool {
+		g := NewSequence[int]()
+		s := EmptySeq()
+		for _, x := range xs {
+			g = g.Ins(int(x % 8))
+			s = s.Ins(Elem(x % 8))
+		}
+		if g.Size() != s.Size() {
+			return false
+		}
+		for i := 0; i < g.Size(); i++ {
+			if g.Get(i) != int(s.Get(i)) {
+				return false
+			}
+		}
+		gf, okG := g.First()
+		sf, okS := s.First()
+		if okG != okS || (okG && gf != int(sf)) {
+			return false
+		}
+		return g.Rest().Size() == s.Rest().Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package value
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := SetOf(3, 1, 3, 2)
+	if s.Size() != 3 {
+		t.Fatalf("Size = %d", s.Size())
+	}
+	if !s.Contains(1) || !s.Contains(3) || s.Contains(4) {
+		t.Errorf("Contains wrong: %v", s)
+	}
+	if got := s.Add(4); got.Size() != 4 || !got.Contains(4) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := s.Add(1); !got.Equal(s) {
+		t.Errorf("Add of existing changed set: %v", got)
+	}
+	if !s.Union(SetOf(4, 5)).Equal(SetOf(1, 2, 3, 4, 5)) {
+		t.Errorf("Union wrong")
+	}
+	if !EmptySet().Equal(SetOf()) {
+		t.Errorf("empty sets differ")
+	}
+}
+
+// Set laws: union is commutative, associative, idempotent.
+func TestSetUnionLaws(t *testing.T) {
+	setFrom := func(xs []uint8) Set {
+		s := EmptySet()
+		for _, x := range xs {
+			s = s.Add(Elem(x % 8))
+		}
+		return s
+	}
+	f := func(a, b, c []uint8) bool {
+		A, B, C := setFrom(a), setFrom(b), setFrom(c)
+		return A.Union(B).Equal(B.Union(A)) &&
+			A.Union(B.Union(C)).Equal(A.Union(B).Union(C)) &&
+			A.Union(A).Equal(A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPQKeyDistinguishesComponents(t *testing.T) {
+	a := MPQ{Present: BagOf(1), Absent: BagOf(2)}
+	b := MPQ{Present: BagOf(2), Absent: BagOf(1)}
+	if a.Key() == b.Key() {
+		t.Errorf("MPQ key collision: %q", a.Key())
+	}
+	if !strings.Contains(a.String(), "present") {
+		t.Errorf("String = %q", a.String())
+	}
+	if EmptyMPQ().Key() != (MPQ{}).Key() {
+		t.Errorf("EmptyMPQ differs from zero value")
+	}
+}
+
+func TestStutQKey(t *testing.T) {
+	a := StutQ{Items: SeqOf(1), Count: 0}
+	b := StutQ{Items: SeqOf(1), Count: 1}
+	if a.Key() == b.Key() {
+		t.Errorf("count must distinguish keys")
+	}
+	if EmptyStutQ().Count != 0 || !EmptyStutQ().Items.IsEmp() {
+		t.Errorf("EmptyStutQ wrong")
+	}
+}
+
+func TestSSQOperations(t *testing.T) {
+	s := EmptySSQ().Ins(1).Ins(2).Ins(3)
+	if s.Items.Size() != 3 || len(s.Counts) != 3 {
+		t.Fatalf("SSQ after Ins: %v", s)
+	}
+	st := s.Stutter(1)
+	if st.Counts[1] != 1 || s.Counts[1] != 0 {
+		t.Errorf("Stutter wrong or mutated receiver: %v / %v", st, s)
+	}
+	rm := st.Remove(1)
+	if rm.Items.Size() != 2 || len(rm.Counts) != 2 {
+		t.Errorf("Remove wrong: %v", rm)
+	}
+	if !rm.Items.Equal(SeqOf(1, 3)) {
+		t.Errorf("Remove items: %v", rm.Items)
+	}
+	if rm.Counts[0] != 0 || rm.Counts[1] != 0 {
+		t.Errorf("Remove counts: %v", rm.Counts)
+	}
+	if s.Key() == st.Key() {
+		t.Errorf("counts must distinguish SSQ keys")
+	}
+}
+
+func TestAccount(t *testing.T) {
+	a := NewAccount(10)
+	if a.Balance != 10 {
+		t.Errorf("Balance = %d", a.Balance)
+	}
+	if a.Key() == NewAccount(11).Key() {
+		t.Errorf("key collision")
+	}
+	if !strings.Contains(a.String(), "10") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+// All Value implementations must have Key() consistent with structural
+// equality; spot-check the interface is satisfied.
+func TestValueInterfaceCompliance(t *testing.T) {
+	values := []Value{
+		EmptyBag(), EmptySeq(), EmptySet(), EmptyMPQ(), EmptyStutQ(),
+		EmptySSQ(), NewAccount(0),
+	}
+	seen := map[string]string{}
+	for _, v := range values {
+		if prev, dup := seen[v.Key()]; dup {
+			t.Errorf("key collision between %T and %s", v, prev)
+		}
+		seen[v.Key()] = v.String()
+	}
+}
+
+func TestElemLess(t *testing.T) {
+	if !Elem(1).Less(2) || Elem(2).Less(1) || Elem(2).Less(2) {
+		t.Errorf("Less wrong")
+	}
+}

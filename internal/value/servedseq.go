@@ -1,0 +1,74 @@
+package value
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ServedSeq is the state of the multi-FIFO queue automaton (the FIFO
+// analog of the paper's MPQ, Figure 3-3): the full enqueue sequence
+// with a served mark per slot. Enq appends an unserved slot; Deq either
+// serves the oldest unserved slot or re-serves an already-served slot
+// that is older than every unserved one — requests may be serviced
+// multiple times, but never out of arrival order.
+type ServedSeq struct {
+	elems  []Elem
+	served []bool
+}
+
+// EmptyServedSeq returns the initial value.
+func EmptyServedSeq() ServedSeq { return ServedSeq{} }
+
+// Append adds an unserved slot at the back.
+func (s ServedSeq) Append(e Elem) ServedSeq {
+	return ServedSeq{
+		elems:  append(copyElems(s.elems), e),
+		served: append(append([]bool(nil), s.served...), false),
+	}
+}
+
+// Serve marks slot i served.
+func (s ServedSeq) Serve(i int) ServedSeq {
+	served := append([]bool(nil), s.served...)
+	served[i] = true
+	return ServedSeq{elems: s.elems, served: served}
+}
+
+// Len returns the number of slots.
+func (s ServedSeq) Len() int { return len(s.elems) }
+
+// Elem returns the element in slot i.
+func (s ServedSeq) Elem(i int) Elem { return s.elems[i] }
+
+// IsServed reports whether slot i has been served.
+func (s ServedSeq) IsServed(i int) bool { return s.served[i] }
+
+// FirstUnserved returns the index of the oldest unserved slot, or -1.
+func (s ServedSeq) FirstUnserved() int {
+	for i, done := range s.served {
+		if !done {
+			return i
+		}
+	}
+	return -1
+}
+
+// Key returns the canonical encoding.
+func (s ServedSeq) Key() string {
+	var b strings.Builder
+	b.WriteString("SV[")
+	for i, e := range s.elems {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(int(e)))
+		if s.served[i] {
+			b.WriteByte('*')
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// String renders the sequence with served slots starred.
+func (s ServedSeq) String() string { return s.Key()[2:] }

@@ -1,0 +1,43 @@
+package value
+
+import "testing"
+
+func TestServedSeqBasics(t *testing.T) {
+	s := EmptyServedSeq()
+	if s.Len() != 0 || s.FirstUnserved() != -1 {
+		t.Fatalf("empty: %v", s)
+	}
+	s = s.Append(5).Append(7)
+	if s.Len() != 2 || s.Elem(0) != 5 || s.Elem(1) != 7 {
+		t.Fatalf("append: %v", s)
+	}
+	if s.FirstUnserved() != 0 || s.IsServed(0) {
+		t.Errorf("unserved tracking wrong")
+	}
+	served := s.Serve(0)
+	if !served.IsServed(0) || served.FirstUnserved() != 1 {
+		t.Errorf("serve wrong: %v", served)
+	}
+	// Immutability.
+	if s.IsServed(0) {
+		t.Errorf("Serve mutated receiver")
+	}
+	_ = served.Append(9)
+	if served.Len() != 2 {
+		t.Errorf("Append mutated receiver")
+	}
+}
+
+func TestServedSeqKeys(t *testing.T) {
+	a := EmptyServedSeq().Append(1).Append(2)
+	b := a.Serve(0)
+	if a.Key() == b.Key() {
+		t.Errorf("served mark must distinguish keys")
+	}
+	if b.String() != "[1* 2]" {
+		t.Errorf("String = %q", b.String())
+	}
+	if a.Key() == EmptyServedSeq().Append(2).Append(1).Key() {
+		t.Errorf("order must distinguish keys")
+	}
+}

@@ -1,0 +1,64 @@
+package value
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a finite set of elements (the Set trait imported by the
+// semiqueue trait of Figure 4-1 as SetE). Set is immutable; its
+// canonical form keeps elements sorted ascending without duplicates.
+type Set struct {
+	items []Elem // sorted ascending, unique
+}
+
+// EmptySet returns the empty set.
+func EmptySet() Set { return Set{} }
+
+// SetOf builds a set from the given elements, discarding duplicates.
+func SetOf(elems ...Elem) Set {
+	sorted := sortedCopy(elems)
+	out := sorted[:0]
+	for i, e := range sorted {
+		if i == 0 || sorted[i-1] != e {
+			out = append(out, e)
+		}
+	}
+	return Set{items: out}
+}
+
+// Add returns s ∪ {e}.
+func (s Set) Add(e Elem) Set {
+	if s.Contains(e) {
+		return s
+	}
+	return SetOf(append(copyElems(s.items), e)...)
+}
+
+// Contains reports e ∈ s.
+func (s Set) Contains(e Elem) bool {
+	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= e })
+	return i < len(s.items) && s.items[i] == e
+}
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set {
+	return SetOf(append(copyElems(s.items), t.items...)...)
+}
+
+// Size returns |s|.
+func (s Set) Size() int { return len(s.items) }
+
+// Elems returns the elements in ascending order (a copy).
+func (s Set) Elems() []Elem { return copyElems(s.items) }
+
+// Equal reports set equality.
+func (s Set) Equal(other Set) bool { return s.Key() == other.Key() }
+
+// Key returns the canonical encoding.
+func (s Set) Key() string { return "S" + elemsKey(s.items) }
+
+// String renders the set as e.g. "{1 3}".
+func (s Set) String() string {
+	return "{" + strings.Trim(elemsKey(s.items), "[]") + "}"
+}
