@@ -1,9 +1,9 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments verify examples clean
+.PHONY: all build test race bench vet fmt lint experiments verify examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/txn/ ./internal/integration/ ./cmd/...
+	$(GO) test -race ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/integration/ ./cmd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 vet:
 	$(GO) vet ./...
+
+# Custom static analysis: model-layer determinism, lock discipline,
+# error discipline, spec purity (see internal/lint).
+lint:
+	$(GO) run ./cmd/relaxlint ./...
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,63 @@
+// Command relaxlint is the repository's custom static analyzer. It
+// enforces model-layer determinism (no wall clocks, no global RNG, no
+// escaping map order), lock discipline, error discipline, and spec
+// purity — the properties the compiler cannot check but the paper's
+// reproducibility rests on. See internal/lint for the rule families
+// and the //lint:ignore suppression convention.
+//
+// Usage:
+//
+//	relaxlint [-json] [-dir root] [-model suffixes] [patterns...]
+//
+// Patterns default to ./... and are interpreted relative to -dir
+// (default "."). Exit status is 0 when clean, 1 when findings are
+// reported, and 2 on analysis failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relaxlattice/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for CI consumption)")
+	dir := flag.String("dir", ".", "module root to analyze")
+	model := flag.String("model", "", "comma-separated import-path suffixes of model-layer packages (default: built-in list)")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cfg := lint.DefaultConfig()
+	if *model != "" {
+		cfg.ModelPaths = strings.Split(*model, ",")
+	}
+
+	diags, err := lint.Run(*dir, cfg, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relaxlint:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "relaxlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "relaxlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -85,7 +85,9 @@ func run(w io.Writer, strategy txn.Strategy, printers, jobs int, seed int64, pAb
 				t := cq.Begin()
 				e, err := cq.Deq(t)
 				if err != nil {
-					_ = cq.AbortTxn(t)
+					if abortErr := cq.AbortTxn(t); abortErr != nil {
+						panic(abortErr) // t was just begun; abort cannot fail
+					}
 					mu.Lock()
 					done := remaining <= 0
 					mu.Unlock()
@@ -99,7 +101,9 @@ func run(w io.Writer, strategy txn.Strategy, printers, jobs int, seed int64, pAb
 				}
 				time.Sleep(hold) // printing
 				if g.Bool(pAbort) {
-					_ = cq.AbortTxn(t) // paper jam
+					if abortErr := cq.AbortTxn(t); abortErr != nil {
+						panic(abortErr) // paper jam abort of a live txn cannot fail
+					}
 					continue
 				}
 				if err := cq.Commit(t); err != nil {

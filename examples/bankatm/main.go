@@ -30,6 +30,15 @@ func debit(n int) history.Invocation {
 	return history.Invocation{Name: history.NameDebit, Args: []int{n}}
 }
 
+// must aborts the demo on unexpected protocol errors: every Execute
+// below is expected to succeed — bounces are responses, not errors.
+func must(op history.Op, err error) history.Op {
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
 func main() {
 	// Three branches; credits land at one site, debits need a majority.
 	votes := quorum.NewVoting([]int{1, 1, 1}, map[string]quorum.OpQuorums{
@@ -49,24 +58,24 @@ func main() {
 	c.Partition([]int{0}, []int{1, 2})
 	payroll := c.Client(0)
 	payroll.Degrade = true
-	op, _ := payroll.Execute(credit(100))
+	op := must(payroll.Execute(credit(100)))
 	fmt.Printf("payroll at branch 0:   %v (propagation pending)\n", op)
 
 	// The customer immediately tries to withdraw at branch 1: the
 	// majority view {1,2} has not seen the credit — a premature debit.
 	c.Partition([]int{1, 2}, []int{0})
 	customer := c.Client(1)
-	op, _ = customer.Execute(debit(60))
+	op = must(customer.Execute(debit(60)))
 	fmt.Printf("customer at branch 1:  %v  <- spurious bounce (A1 violated)\n", op)
 
 	// Background propagation completes; the same withdrawal succeeds.
 	c.Heal()
 	c.Gossip()
-	op, _ = customer.Execute(debit(60))
+	op = must(customer.Execute(debit(60)))
 	fmt.Printf("after propagation:     %v\n", op)
 
 	// A genuinely excessive withdrawal still bounces.
-	op, _ = customer.Execute(debit(500))
+	op = must(customer.Execute(debit(500)))
 	fmt.Printf("overdraft attempt:     %v  <- real bounce\n", op)
 
 	// The global balance is consistent and never went negative.

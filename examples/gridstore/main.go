@@ -20,6 +20,15 @@ import (
 	"relaxlattice/internal/specs"
 )
 
+// must aborts the demo on unexpected protocol errors: the Execute
+// calls routed through it are expected to succeed.
+func must(op history.Op, err error) history.Op {
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
 func main() {
 	grid := quorum.Grid(2, 3, history.NameEnq, history.NameDeq)
 	fmt.Println("2×3 grid: initial quorums = rows {0,1,2} {3,4,5}; final quorums = columns {0,3} {1,4} {2,5}")
@@ -39,7 +48,7 @@ func main() {
 		op, err := cl.Execute(history.EnqInv(p))
 		fmt.Printf("enqueue: %v (err=%v)\n", op, err)
 	}
-	op, _ := cl.Execute(history.DeqInv())
+	op := must(cl.Execute(history.DeqInv()))
 	fmt.Printf("dequeue: %v  <- best first, one-copy serializable\n\n", op)
 
 	// Losing a full row kills every column quorum.

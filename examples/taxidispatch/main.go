@@ -22,6 +22,16 @@ import (
 	"relaxlattice/internal/specs"
 )
 
+// must aborts the demo on unexpected protocol errors: every Execute
+// below is expected to succeed — degraded responses are responses, not
+// errors.
+func must(op history.Op, err error) history.Op {
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
 func main() {
 	c := cluster.New(cluster.Config{
 		Sites:   5,
@@ -42,7 +52,7 @@ func main() {
 	// A driver picks up the most urgent request: priority 8.
 	driver := c.Client(3)
 	driver.Degrade = true
-	op, _ := driver.Execute(history.DeqInv())
+	op := must(driver.Execute(history.DeqInv()))
 	fmt.Printf("driver:     %v  <- highest priority first\n", op)
 
 	// The city network splits: downtown {0,1} loses uptown {2,3,4}.
@@ -53,8 +63,8 @@ func main() {
 	// cannot see the other's dequeue (Q2 no longer holds).
 	left, right := c.Client(0), c.Client(2)
 	left.Degrade, right.Degrade = true, true
-	op1, _ := left.Execute(history.DeqInv())
-	op2, _ := right.Execute(history.DeqInv())
+	op1 := must(left.Execute(history.DeqInv()))
+	op2 := must(right.Execute(history.DeqInv()))
 	fmt.Printf("left side:  %v\nright side: %v  <- same request, serviced twice\n", op1, op2)
 
 	// What did we degrade to? Audit the global observed history.
@@ -76,8 +86,8 @@ func main() {
 	c.Heal()
 	c.Gossip()
 	fmt.Println("\n!! partition healed, logs gossiped")
-	op, _ = dispatcher.Execute(history.EnqInv(9))
+	op = must(dispatcher.Execute(history.EnqInv(9)))
 	fmt.Printf("dispatcher: %v\n", op)
-	op, _ = driver.Execute(history.DeqInv())
+	op = must(driver.Execute(history.DeqInv()))
 	fmt.Printf("driver:     %v  <- preferred behavior restored for new work\n", op)
 }

@@ -57,13 +57,13 @@ type Config struct {
 // Cluster is the simulated replicated object.
 type Cluster struct {
 	mu       sync.Mutex
-	cfg      Config
-	eval     quorum.Eval
-	logs     []quorum.Log
-	up       []bool
-	comp     []int // network component per site; equal = mutually reachable
-	observed history.History
-	nextID   int
+	cfg      Config          // immutable after New
+	eval     quorum.Eval     // immutable after New
+	logs     []quorum.Log    // guarded by mu
+	up       []bool          // guarded by mu
+	comp     []int           // guarded by mu; network component per site; equal = mutually reachable
+	observed history.History // guarded by mu
+	nextID   int             // guarded by mu
 }
 
 // New builds a cluster with all sites up and fully connected. It
@@ -149,6 +149,8 @@ func (c *Cluster) UpSites() int {
 
 // reachableFrom returns the up sites in the same network component as
 // home (including home itself if up). Caller holds mu.
+//
+//lint:ignore lock-guard caller holds mu (every call site is under Lock)
 func (c *Cluster) reachableFrom(home int) []int {
 	var out []int
 	for i := range c.logs {

@@ -195,6 +195,7 @@ func bankHistoriesInSpurious(cfg Config, seed int64) bool {
 			quorumScope(c, []int{site})
 			cl := c.Client(site)
 			cl.Degrade = true
+			//lint:ignore err-drop degraded executions may legitimately fail; the audit consumes only the observed history
 			_, _ = cl.Execute(history.Invocation{Name: history.NameCredit, Args: []int{1 + g.Intn(4)}})
 			if g.Bool(0.4) {
 				c.Heal()
@@ -203,6 +204,7 @@ func bankHistoriesInSpurious(cfg Config, seed int64) bool {
 		} else {
 			quorumScope(c, randomMajority(g, site, cfg.Sites, cfg.Sites/2+1))
 			cl := c.Client(site)
+			//lint:ignore err-drop a bounced or unavailable debit is part of the workload being audited
 			_, _ = cl.Execute(history.Invocation{Name: history.NameDebit, Args: []int{1 + g.Intn(3)}})
 		}
 	}

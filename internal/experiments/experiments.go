@@ -53,6 +53,15 @@ type Experiment struct {
 
 var registry = map[string]Experiment{}
 
+// mustOK panics on errors from workload-construction calls whose
+// failure would mean the harness itself is broken (enqueues into fresh
+// queues, commits of live transactions, and the like).
+func mustOK(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic("experiments: duplicate id " + e.ID)

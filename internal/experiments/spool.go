@@ -77,16 +77,18 @@ func spoolCollision(strategy txn.Strategy, k int) (txn.Schedule, int) {
 	q := txn.NewQueue(strategy)
 	for i := 1; i <= k+1; i++ {
 		t := q.Begin()
-		_ = q.Enq(t, value.Elem(i))
-		_ = q.Commit(t)
+		mustOK(q.Enq(t, value.Elem(i)))
+		mustOK(q.Commit(t))
 	}
 	txs := make([]txn.ID, k)
 	for i := range txs {
 		txs[i] = q.Begin()
-		_, _ = q.Deq(txs[i])
+		if _, err := q.Deq(txs[i]); err != nil {
+			panic(err)
+		}
 	}
 	for i := len(txs) - 1; i >= 0; i-- {
-		_ = q.Commit(txs[i])
+		mustOK(q.Commit(txs[i]))
 	}
 	return q.Schedule(), q.MaxConcurrentDequeuers()
 }
@@ -164,12 +166,12 @@ func spoolThroughput(strategy txn.Strategy, k, rounds int) float64 {
 	next := 1
 	refill := func(n int) {
 		for i := 0; i < n; i++ {
-			_ = q.Enq(feeder, value.Elem(next))
+			mustOK(q.Enq(feeder, value.Elem(next)))
 			next++
 		}
 	}
 	refill(k * rounds)
-	_ = q.Commit(feeder)
+	mustOK(q.Commit(feeder))
 	completed := 0
 	for r := 0; r < rounds; r++ {
 		var holders []txn.ID
@@ -177,7 +179,7 @@ func spoolThroughput(strategy txn.Strategy, k, rounds int) float64 {
 			tx := q.Begin()
 			if _, err := q.Deq(tx); err != nil {
 				if errors.Is(err, txn.ErrBlocked) || errors.Is(err, txn.ErrEmpty) {
-					_ = q.AbortTxn(tx) // lost the round
+					mustOK(q.AbortTxn(tx)) // lost the round
 					continue
 				}
 				panic(err)
@@ -185,7 +187,7 @@ func spoolThroughput(strategy txn.Strategy, k, rounds int) float64 {
 			holders = append(holders, tx)
 		}
 		for _, tx := range holders {
-			_ = q.Commit(tx)
+			mustOK(q.Commit(tx))
 			completed++
 		}
 	}

@@ -1,0 +1,249 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// wallClockFuncs are the time-package functions that read the wall
+// clock. Model-layer code must take time as an explicit input (the
+// discrete-event simulator's virtual clock, a parameter, a field).
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// randConstructors are the math/rand functions that build an injected
+// generator rather than consult global state. Constructing a seeded
+// *rand.Rand (as internal/sim/rng.go does) is the sanctioned pattern,
+// and method calls on such a receiver are always legal — only
+// package-level functions backed by the global source are flagged.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// checkDeterminism applies the det-time, det-rand, and det-maporder
+// rules to model-layer packages. Reproducibility of the bounded model
+// checking (Theorem 4) and of the paper artifacts depends on these
+// packages computing the same answer on every run.
+func checkDeterminism(p *Package, cfg Config, report reportFunc) {
+	if !pathMatches(p.Path, cfg.ModelPaths) {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if wallClockFuncs[sel.Sel.Name] {
+					report(call.Pos(), "det-time", fmt.Sprintf(
+						"time.%s reads the wall clock; model-layer code must take time as an input", sel.Sel.Name))
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					report(call.Pos(), "det-rand", fmt.Sprintf(
+						"%s.%s draws from the global RNG; model-layer code must use an injected generator", id.Name, sel.Sel.Name))
+				}
+			}
+			return true
+		})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrder(p, fd.Body, report)
+		}
+	}
+}
+
+// checkMapOrder flags range statements over maps whose iteration order
+// escapes (via append, a channel send, or a return inside the loop
+// body) when no sort call follows in the same function. Sorting after
+// collection is the established repo idiom (see automaton.SortedKeys
+// and Voting.Relation).
+func checkMapOrder(p *Package, body *ast.BlockStmt, report reportFunc) {
+	var ranges []*ast.RangeStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[rs.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				ranges = append(ranges, rs)
+			}
+		}
+		return true
+	})
+	for _, rs := range ranges {
+		if !mapOrderEscapes(p, rs) {
+			continue
+		}
+		if sortCallAfter(body, rs.End()) {
+			continue
+		}
+		report(rs.Pos(), "det-maporder",
+			"map iteration order escapes the loop (append/send/return) with no subsequent sort")
+	}
+}
+
+// mapOrderEscapes reports whether the loop body lets the (randomized)
+// iteration order become observable. Three constructs preserve
+// encounter order: appending to a slice that outlives the iteration,
+// sending on a channel, and returning a value derived from the
+// iteration variables. Order-independent patterns stay legal: folds
+// (sums, max), writes keyed by the iteration variable (out[k] = ...),
+// per-iteration slices that are consumed before the next key, and
+// early-exit searches that return constants (found / not found).
+func mapOrderEscapes(p *Package, rs *ast.RangeStmt) bool {
+	iterObjs := rangeVarObjects(p, rs)
+	escapes := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if len(x.Lhs) == len(x.Rhs) && appendTargetEscapes(p, rs, x.Lhs[i]) {
+					escapes = true
+				}
+			}
+		case *ast.SendStmt:
+			escapes = true
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if mentionsObjects(p, res, iterObjs) {
+					escapes = true
+				}
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// appendTargetEscapes reports whether appending to target leaks
+// iteration order out of the loop: appends into map entries are
+// order-independent, and appends to slices declared inside the loop
+// body stay within one iteration. Everything else (outer slices,
+// struct fields) is conservatively an escape.
+func appendTargetEscapes(p *Package, rs *ast.RangeStmt, target ast.Expr) bool {
+	switch t := target.(type) {
+	case *ast.IndexExpr:
+		if tv, ok := p.Info.Types[t.X]; ok && tv.Type != nil {
+			if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+				return false
+			}
+		}
+		return true
+	case *ast.Ident:
+		obj := p.Info.Uses[t]
+		if obj == nil {
+			obj = p.Info.Defs[t]
+		}
+		if obj != nil && obj.Pos() > rs.Body.Pos() && obj.Pos() < rs.Body.End() {
+			return false // per-iteration slice
+		}
+		return true
+	}
+	return true
+}
+
+// rangeVarObjects resolves the key/value loop variables to their
+// types.Objects (empty for `for range m`).
+func rangeVarObjects(p *Package, rs *ast.RangeStmt) map[types.Object]bool {
+	objs := map[types.Object]bool{}
+	for _, expr := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := expr.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			objs[obj] = true
+		} else if obj := p.Info.Uses[id]; obj != nil {
+			objs[obj] = true
+		}
+	}
+	return objs
+}
+
+// mentionsObjects reports whether expr references any of the given
+// objects.
+func mentionsObjects(p *Package, expr ast.Expr, objs map[types.Object]bool) bool {
+	if len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && objs[p.Info.Uses[id]] {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// sortCallAfter reports whether any sort-like call (the sort or slices
+// packages, or any function whose name mentions sorting) occurs after
+// pos within the function body.
+func sortCallAfter(body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= pos {
+			return true
+		}
+		name := ""
+		switch f := call.Fun.(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			if id, ok := f.X.(*ast.Ident); ok && (id.Name == "sort" || id.Name == "slices") {
+				found = true
+				return false
+			}
+			name = f.Sel.Name
+		}
+		if strings.Contains(strings.ToLower(name), "sort") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkErrDiscipline applies the err-drop rule: an error result
+// discarded with a blank identifier hides exactly the degraded-mode
+// failures this codebase exists to study. _test.go files are never
+// loaded, so the rule only covers production code. Implicit discards
+// (calling an error-returning function as a bare statement, e.g.
+// fmt.Println) are left to the caller's judgement — the rule targets
+// the explicit "I know there is an error and I am throwing it away"
+// form, which must either be handled or justified with
+// //lint:ignore err-drop <reason>.
+func checkErrDiscipline(p *Package, report reportFunc) {
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	isErr := func(t types.Type) bool {
+		return t != nil && types.Implements(t, errIface)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Rhs) == 1 {
+				call, ok := as.Rhs[0].(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[call]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if tuple, ok := tv.Type.(*types.Tuple); ok {
+					for i, lhs := range as.Lhs {
+						if isBlank(lhs) && i < tuple.Len() && isErr(tuple.At(i).Type()) {
+							report(lhs.Pos(), "err-drop",
+								"error result discarded; handle it or annotate //lint:ignore err-drop <reason>")
+						}
+					}
+					return true
+				}
+				if len(as.Lhs) == 1 && isBlank(as.Lhs[0]) && isErr(tv.Type) {
+					report(as.Lhs[0].Pos(), "err-drop",
+						"error result discarded; handle it or annotate //lint:ignore err-drop <reason>")
+				}
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if !isBlank(lhs) || i >= len(as.Rhs) {
+					continue
+				}
+				if call, ok := as.Rhs[i].(*ast.CallExpr); ok {
+					if tv, ok := p.Info.Types[call]; ok && isErr(tv.Type) {
+						report(lhs.Pos(), "err-drop",
+							"error result discarded; handle it or annotate //lint:ignore err-drop <reason>")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isBlank reports whether expr is the blank identifier.
+func isBlank(expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	return ok && id.Name == "_"
+}

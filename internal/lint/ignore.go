@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreIndex maps file → line → rule names suppressed at that line.
+type ignoreIndex map[string]map[int][]string
+
+// collectIgnores scans a package's comments for the suppression
+// convention
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// and returns an index of suppressed (file, line, rule) triples. The
+// comment suppresses matching findings on its own line and on the
+// line directly below it, so both trailing and preceding placement
+// work. A comment without a reason is reported as bad-ignore — the
+// reason is the audit trail that makes suppressions reviewable.
+func collectIgnores(p *Package, report reportFunc) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					report(c.Pos(), "bad-ignore",
+						`malformed suppression: want "//lint:ignore <rule> <reason>"`)
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = map[int][]string{}
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line],
+					strings.Split(fields[0], ",")...)
+			}
+		}
+	}
+	return idx
+}
+
+// filterIgnored drops diagnostics suppressed by an ignore comment on
+// the same line or the line above.
+func filterIgnored(diags []Diagnostic, idx ignoreIndex) []Diagnostic {
+	if len(idx) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if ignoredAt(idx, d.File, d.Line, d.Rule) || ignoredAt(idx, d.File, d.Line-1, d.Rule) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// ignoredAt reports whether rule is suppressed at file:line.
+func ignoredAt(idx ignoreIndex, file string, line int, rule string) bool {
+	for _, r := range idx[file][line] {
+		if r == rule || r == "*" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,171 @@
+// Package lint implements relaxlint, a stdlib-only static analyzer
+// that enforces the repository's two load-bearing disciplines: the
+// model layer (automata, lattices, specs, histories, quorum logic)
+// must be deterministic and pure so that the bounded model checking of
+// Theorem 4 and the paper artifacts is reproducible run-to-run, and
+// the operational layer (transactions, cluster simulation, commit
+// protocols) must follow a strict locking discipline so the
+// concurrency results are trustworthy.
+//
+// Four rule families are implemented:
+//
+//   - determinism (det-time, det-rand, det-maporder): model-layer
+//     packages must not read the wall clock, use the global RNG, or
+//     let map iteration order escape into slices/returns unsorted.
+//   - lock discipline (lock-balance, lock-guard): a mutex Lock must be
+//     released on every path, and fields annotated "guarded by <mu>"
+//     must only be touched by methods that acquire <mu>.
+//   - error discipline (err-drop): error results must not be discarded
+//     with a blank identifier outside _test.go files.
+//   - spec purity (spec-purity): functions in the specification
+//     catalog must not write package-level state.
+//
+// Any finding can be suppressed with a comment on the same line or
+// the line above:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory; a missing reason is itself reported
+// (bad-ignore). "*" suppresses every rule on the target line.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned relative to the module root.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the finding in the canonical file:line:col: [rule]
+// message format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+}
+
+// Config selects which packages the path-scoped rule families apply
+// to. Paths are import-path suffixes (matched on "/" boundaries), so
+// the defaults apply equally to this module and to fixture modules
+// that mirror its layout.
+type Config struct {
+	// ModelPaths are the packages held to the determinism rules.
+	ModelPaths []string
+	// SpecPaths are the packages held to the spec-purity rule.
+	SpecPaths []string
+}
+
+// DefaultConfig returns the repository's rule scoping: the six
+// model-layer packages and the specification catalog.
+func DefaultConfig() Config {
+	return Config{
+		ModelPaths: []string{
+			"internal/automaton",
+			"internal/lattice",
+			"internal/specs",
+			"internal/core",
+			"internal/history",
+			"internal/quorum",
+		},
+		SpecPaths: []string{"internal/specs"},
+	}
+}
+
+// reportFunc receives raw findings from the rule implementations.
+type reportFunc func(pos token.Pos, rule, msg string)
+
+// Run loads every package of the module rooted at root, applies the
+// rules to packages matched by patterns ("./..." style, relative to
+// root), filters suppressed findings, and returns the remainder
+// sorted by position.
+func Run(root string, cfg Config, patterns []string) ([]Diagnostic, error) {
+	pkgs, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	matched := 0
+	for _, p := range pkgs {
+		if !matchPattern(p.RelDir, patterns) {
+			continue
+		}
+		matched++
+		report := func(pos token.Pos, rule, msg string) {
+			position := p.Fset.Position(pos)
+			diags = append(diags, Diagnostic{
+				File:    position.Filename,
+				Line:    position.Line,
+				Col:     position.Column,
+				Rule:    rule,
+				Message: msg,
+			})
+		}
+		ignores := collectIgnores(p, report)
+		n := len(diags)
+		checkDeterminism(p, cfg, report)
+		checkLocks(p, report)
+		checkErrDiscipline(p, report)
+		checkSpecPurity(p, cfg, report)
+		diags = append(diags[:n], filterIgnored(diags[n:], ignores)...)
+	}
+	// A pattern that selects nothing is almost always a typo; failing
+	// loudly keeps a mistyped CI invocation from passing vacuously.
+	if matched == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// matchPattern reports whether a package directory (relative to the
+// module root, "." for the root package) is selected by any pattern.
+// Supported forms: "./...", "dir/...", "dir", and "." — with or
+// without a leading "./".
+func matchPattern(rel string, patterns []string) bool {
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
+		switch {
+		case pat == "..." || pat == "":
+			return true
+		case strings.HasSuffix(pat, "/..."):
+			prefix := strings.TrimSuffix(pat, "/...")
+			if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+				return true
+			}
+		case rel == pat:
+			return true
+		}
+	}
+	return false
+}
+
+// pathMatches reports whether an import path ends with one of the
+// configured suffixes on a path-segment boundary.
+func pathMatches(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

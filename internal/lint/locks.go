@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// checkLocks applies the lock-balance and lock-guard rules to every
+// package: the lock-based atomic-queue and transaction results are
+// only as trustworthy as the locking discipline around them.
+func checkLocks(p *Package, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockBalance(p, fd.Body, report)
+			// Closures have their own control flow and are checked as
+			// independent functions.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockBalance(p, fl.Body, report)
+				}
+				return true
+			})
+		}
+	}
+	checkGuardedFields(p, report)
+}
+
+// lockCall describes one recognized mutex operation.
+type lockCall struct {
+	call *ast.CallExpr
+	key  string // canonical receiver expression, e.g. "c.mu"
+	read bool   // RLock/RUnlock
+}
+
+// asMutexOp recognizes <expr>.Lock/RLock/Unlock/RUnlock where <expr>
+// has type sync.Mutex, sync.RWMutex (possibly behind a pointer), or
+// sync.Locker.
+func asMutexOp(p *Package, call *ast.CallExpr, names ...string) (lockCall, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+		}
+	}
+	if !match {
+		return lockCall{}, false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncLockerType(tv.Type) {
+		return lockCall{}, false
+	}
+	return lockCall{
+		call: call,
+		key:  types.ExprString(sel.X),
+		read: sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock",
+	}, true
+}
+
+// isSyncLockerType reports whether t is one of the sync locking types.
+func isSyncLockerType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	switch obj.Name() {
+	case "Mutex", "RWMutex", "Locker":
+		return true
+	}
+	return false
+}
+
+// stmtLists collects every statement list in body without descending
+// into function literals (which are separate functions).
+func stmtLists(body *ast.BlockStmt) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			lists = append(lists, x.List)
+		case *ast.CaseClause:
+			lists = append(lists, x.Body)
+		case *ast.CommClause:
+			lists = append(lists, x.Body)
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+	return lists
+}
+
+// checkLockBalance flags Lock/RLock calls that are not immediately
+// followed by the matching defer Unlock and for which the fallback
+// path analysis finds either no later unlock at all or a return
+// statement that can fire while the lock is still held. The analysis
+// is source-order based: a deferred unlock protects exactly the
+// returns after its registration point, which matches how the repo's
+// code is written.
+func checkLockBalance(p *Package, body *ast.BlockStmt, report reportFunc) {
+	for _, list := range stmtLists(body) {
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			lk, ok := asMutexOp(p, call, "Lock", "RLock")
+			if !ok {
+				continue
+			}
+			if i+1 < len(list) && isDeferUnlock(p, list[i+1], lk) {
+				continue
+			}
+			unlockPos, hasUnlock := firstUnlockAfter(p, body, lk)
+			if !hasUnlock {
+				report(call.Pos(), "lock-balance", fmt.Sprintf(
+					"%s locked but never released in this function; use defer %s.Unlock()", lk.key, lk.key))
+				continue
+			}
+			if _, hasRet := firstReturnBetween(body, lk.call.End(), unlockPos); hasRet {
+				report(call.Pos(), "lock-balance", fmt.Sprintf(
+					"%s may still be held on an early return; use defer %s.Unlock()", lk.key, lk.key))
+			}
+		}
+	}
+}
+
+// isDeferUnlock reports whether stmt is `defer <key>.Unlock()` (or
+// RUnlock for read locks).
+func isDeferUnlock(p *Package, stmt ast.Stmt, lk lockCall) bool {
+	ds, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	want := "Unlock"
+	if lk.read {
+		want = "RUnlock"
+	}
+	ul, ok := asMutexOp(p, ds.Call, want)
+	return ok && ul.key == lk.key
+}
+
+// firstUnlockAfter returns the position of the first matching unlock
+// (direct or deferred) after the lock call, scanning the function in
+// source order and skipping nested function literals.
+func firstUnlockAfter(p *Package, body *ast.BlockStmt, lk lockCall) (token.Pos, bool) {
+	want := "Unlock"
+	if lk.read {
+		want = "RUnlock"
+	}
+	best := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= lk.call.End() {
+			return true
+		}
+		if ul, ok := asMutexOp(p, call, want); ok && ul.key == lk.key {
+			if best == token.NoPos || call.Pos() < best {
+				best = call.Pos()
+			}
+		}
+		return true
+	})
+	return best, best != token.NoPos
+}
+
+// firstReturnBetween finds a return statement in (lo, hi), skipping
+// nested function literals.
+func firstReturnBetween(body *ast.BlockStmt, lo, hi token.Pos) (token.Pos, bool) {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			if ret.Pos() > lo && ret.Pos() < hi && (found == token.NoPos || ret.Pos() < found) {
+				found = ret.Pos()
+			}
+		}
+		return true
+	})
+	return found, found != token.NoPos
+}
+
+// guardedRe extracts the mutex name from a "guarded by <mu>" field
+// comment.
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardedField is one struct field annotated "// guarded by <mu>".
+type guardedField struct {
+	structName string
+	fieldName  string
+	mu         string
+}
+
+// checkGuardedFields enforces the lock-guard rule: a field annotated
+// "guarded by <mu>" may only be read or written by methods of its
+// struct that acquire <mu> (Lock or RLock) somewhere in their body.
+// Helpers documented as "caller holds mu" should carry a
+// //lint:ignore lock-guard annotation.
+func checkGuardedFields(p *Package, report reportFunc) {
+	var guarded []guardedField
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					guarded = append(guarded, guardedField{
+						structName: ts.Name.Name,
+						fieldName:  name.Name,
+						mu:         m[1],
+					})
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue
+			}
+			recvObj := p.Info.Defs[recvField.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			recvType := receiverTypeName(recvField.Type)
+			// One finding per (method, mutex) so a single
+			// "caller holds mu" suppression covers the whole helper.
+			touched := map[string][]string{} // mu -> field names
+			for _, g := range guarded {
+				if g.structName != recvType {
+					continue
+				}
+				if fieldAccess(p, fd.Body, recvObj, g.fieldName) == token.NoPos {
+					continue
+				}
+				if acquiresMutex(p, fd.Body, recvObj, g.mu) {
+					continue
+				}
+				touched[g.mu] = append(touched[g.mu], g.fieldName)
+			}
+			mus := make([]string, 0, len(touched))
+			for mu := range touched {
+				mus = append(mus, mu)
+			}
+			sort.Strings(mus)
+			for _, mu := range mus {
+				report(fd.Name.Pos(), "lock-guard", fmt.Sprintf(
+					"method %s touches field(s) %s of %s guarded by %s without acquiring it",
+					fd.Name.Name, strings.Join(touched[mu], ", "), recvType, mu))
+			}
+		}
+	}
+}
+
+// receiverTypeName unwraps *T / T receiver syntax to the type name.
+func receiverTypeName(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// fieldAccess returns the position of the first <recv>.<field>
+// selector in body, or NoPos.
+func fieldAccess(p *Package, body *ast.BlockStmt, recvObj types.Object, field string) token.Pos {
+	found := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != field {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && p.Info.Uses[id] == recvObj {
+			found = sel.Pos()
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// acquiresMutex reports whether body contains <recv>.<mu>.Lock() or
+// <recv>.<mu>.RLock().
+func acquiresMutex(p *Package, body *ast.BlockStmt, recvObj types.Object, mu string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mu {
+			return true
+		}
+		if id, ok := muSel.X.(*ast.Ident); ok && p.Info.Uses[id] == recvObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

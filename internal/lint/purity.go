@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// checkSpecPurity applies the spec-purity rule to the specification
+// catalog: the transition functions behind every automaton returned by
+// specs.All (and anything else in a spec package) must not write
+// package-level state. A spec that mutates a global would make
+// automaton.Language and the lattice comparisons depend on call
+// history, silently invalidating the Theorem 4 check. Reads are fine;
+// writes (assignment, indexed assignment through a global, ++/--) are
+// findings.
+func checkSpecPurity(p *Package, cfg Config, report reportFunc) {
+	if !pathMatches(p.Path, cfg.SpecPaths) {
+		return
+	}
+	pkgVars := map[types.Object]bool{}
+	scope := p.Types.Scope()
+	for _, name := range scope.Names() {
+		if v, ok := scope.Lookup(name).(*types.Var); ok {
+			pkgVars[v] = true
+		}
+	}
+	if len(pkgVars) == 0 {
+		return
+	}
+	flag := func(target ast.Expr) {
+		id := rootIdent(target)
+		if id == nil {
+			return
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !pkgVars[obj] {
+			return
+		}
+		report(target.Pos(), "spec-purity", fmt.Sprintf(
+			"spec package function writes package-level variable %s; specs must be pure", id.Name))
+	}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						flag(lhs)
+					}
+				case *ast.IncDecStmt:
+					flag(x.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// rootIdent unwraps selector/index/star/paren chains to the base
+// identifier of an assignment target.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch x := expr.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			expr = x.X
+		case *ast.IndexExpr:
+			expr = x.X
+		case *ast.StarExpr:
+			expr = x.X
+		case *ast.ParenExpr:
+			expr = x.X
+		default:
+			return nil
+		}
+	}
+}

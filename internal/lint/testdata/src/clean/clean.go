@@ -1,0 +1,19 @@
+// Package clean has no findings: the negative half of the golden
+// test.
+package clean
+
+import "sync"
+
+// Box is a guarded container whose only method follows the
+// lock-then-defer discipline.
+type Box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+// Get locks around the read.
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}

@@ -1,0 +1,89 @@
+// Package automaton is a model-layer fixture exercising the
+// determinism rule family (det-time, det-rand, det-maporder).
+package automaton
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock twice: both calls are findings.
+func Stamp() (int64, time.Duration) {
+	t := time.Now()
+	return t.UnixNano(), time.Since(t)
+}
+
+// Pick draws from the global RNG: finding.
+func Pick(n int) int {
+	return rand.Intn(n)
+}
+
+// Seeded constructs an injected generator: rand.New and
+// rand.NewSource are on the constructor allowlist, and method calls on
+// the injected generator are always legal.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Keys leaks map iteration order into the returned slice: finding.
+func Keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys sorts after collecting: clean.
+func SortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// First returns whichever key iteration yields first: finding.
+func First(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Has is an early-exit search returning a constant: clean.
+func Has(m map[string]int, want int) bool {
+	for _, v := range m {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Index rewrites values keyed by the iteration variable: clean.
+func Index(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// Sum folds a map order-independently: clean.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// SuppressedStamp demonstrates the suppression convention.
+func SuppressedStamp() int64 {
+	//lint:ignore det-time fixture demonstrates suppression
+	return time.Now().UnixNano()
+}

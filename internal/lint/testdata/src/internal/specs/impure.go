@@ -1,0 +1,28 @@
+// Package specs is a fixture exercising the spec-purity rule.
+package specs
+
+// hits counts Apply invocations — exactly the package-level state the
+// purity rule forbids transition functions from touching.
+var hits int
+
+// registry mirrors the real spec catalog's registration map.
+var registry = map[string]func(int) int{}
+
+// Apply mutates package state twice: both writes are findings.
+func Apply(s int) int {
+	hits++
+	registry["apply"] = nil
+	return s + 1
+}
+
+// Pure is clean.
+func Pure(s int) int {
+	return s * 2
+}
+
+// Tracked documents why it writes package state: suppressed.
+func Tracked(s int) int {
+	//lint:ignore spec-purity fixture demonstrates suppression
+	hits = s
+	return s
+}

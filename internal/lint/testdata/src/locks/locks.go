@@ -1,0 +1,56 @@
+// Package locks is a fixture exercising the lock-discipline rule
+// family (lock-balance, lock-guard).
+package locks
+
+import "sync"
+
+// Counter is a tiny guarded container.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Add locks with an immediate defer: clean.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Peek reads n without acquiring mu: lock-guard finding.
+func (c *Counter) Peek() int {
+	return c.n
+}
+
+// Leak never unlocks: lock-balance finding.
+func (c *Counter) Leak(d int) {
+	c.mu.Lock()
+	c.n += d
+}
+
+// EarlyReturn can return while holding mu: lock-balance finding.
+func (c *Counter) EarlyReturn(d int) int {
+	c.mu.Lock()
+	if d < 0 {
+		return 0
+	}
+	c.n += d
+	c.mu.Unlock()
+	return c.n
+}
+
+// Manual unlocks before its only return: clean.
+func (c *Counter) Manual(d int) int {
+	c.mu.Lock()
+	c.n += d
+	c.mu.Unlock()
+	return c.n
+}
+
+// unsafePeek is called with mu held: suppressed at the declaration,
+// where the lock-guard finding is reported.
+//
+//lint:ignore lock-guard caller holds mu (fixture demonstrates suppression)
+func (c *Counter) unsafePeek() int {
+	return c.n
+}

@@ -14,8 +14,8 @@ import (
 // concurrency cost the relaxed strategies avoid (Section 4.2).
 type ConcurrentQueue struct {
 	mu   sync.Mutex
-	cond *sync.Cond
-	q    *Queue
+	cond *sync.Cond // immutable after NewConcurrentQueue; waits on mu
+	q    *Queue     // guarded by mu
 }
 
 // NewConcurrentQueue builds a goroutine-safe transactional queue.

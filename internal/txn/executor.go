@@ -15,8 +15,8 @@ var ErrRetriesExhausted = errors.New("txn: deadlock retries exhausted")
 // deadlocks surface as ErrDeadlock for the executor to retry.
 type ConcurrentStore struct {
 	mu   sync.Mutex
-	cond *sync.Cond
-	s    *Store
+	cond *sync.Cond // immutable after NewConcurrentStore; waits on mu
+	s    *Store     // guarded by mu
 }
 
 // NewConcurrentStore builds a goroutine-safe transactional store.
