@@ -1,7 +1,7 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race bench vet fmt lint experiments verify examples clean
+.PHONY: all build test race bench bench-json vet fmt lint experiments verify examples clean
 
 all: build vet lint test
 
@@ -12,10 +12,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/integration/ ./cmd/...
+	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/integration/ ./cmd/...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot (ns/op + allocs) for PR
+# before/after comparisons.
+bench-json:
+	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 
 vet:
 	$(GO) vet ./...
@@ -28,9 +33,10 @@ lint:
 fmt:
 	gofmt -w .
 
-# Regenerate every paper artifact (the body of EXPERIMENTS.md).
+# Regenerate every paper artifact (the body of EXPERIMENTS.md). The
+# parallel runner's output is byte-identical to the serial one.
 experiments:
-	$(GO) run ./cmd/relaxctl run all
+	$(GO) run ./cmd/relaxctl run -parallel all
 
 # Bounded model checking of Theorem 4 and the companion claims.
 verify:

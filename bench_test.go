@@ -22,10 +22,13 @@ import (
 )
 
 // benchConfig keeps experiment benchmarks representative but bounded.
+// MaxLen 6 was the experiment default before the memoized powerset
+// engine (automaton/engine.go) raised it to 8, so these numbers stay
+// comparable across that change.
 func benchConfig() experiments.Config {
 	cfg := experiments.Default()
 	cfg.Trials = 20000
-	cfg.Bound = core.Bound{MaxElem: 2, MaxLen: 5}
+	cfg.Bound = core.Bound{MaxElem: 2, MaxLen: 6}
 	return cfg
 }
 
@@ -88,7 +91,7 @@ func BenchmarkLogMerge(b *testing.B) {
 }
 
 func BenchmarkQCAJustified(b *testing.B) {
-	qca := quorum.NewQCA("bench", specs.PriorityQueue(), quorum.Q1(), quorum.PQEval)
+	qca := quorum.NewQCA("bench", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold())
 	h := history.History{
 		history.Enq(3), history.Enq(1), history.DeqOk(3),
 		history.Enq(2), history.DeqOk(2), history.Enq(1),
@@ -119,6 +122,52 @@ func BenchmarkCompareFIFOvsSemiqueue(b *testing.B) {
 		res := automaton.Compare(specs.FIFOQueue(), specs.Semiqueue(1), alphabet, 5)
 		if !res.Equal {
 			b.Fatal("should be equal")
+		}
+	}
+}
+
+// BenchmarkNaiveCompareTheoremFour is the per-history BFS oracle on the
+// Theorem 4 comparison — the contrast benchmark for
+// BenchmarkEngineCompareTheoremFour.
+func BenchmarkNaiveCompareTheoremFour(b *testing.B) {
+	alphabet := history.QueueAlphabet(2)
+	qca := quorum.NewQCA("bench", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold()).Compiled()
+	mpq := specs.MultiPriorityQueue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := automaton.NaiveCompare(qca, mpq, alphabet, 6)
+		if !res.Equal {
+			b.Fatal("should be equal")
+		}
+	}
+}
+
+// BenchmarkEngineCompareTheoremFour is the same comparison on the
+// memoized powerset engine.
+func BenchmarkEngineCompareTheoremFour(b *testing.B) {
+	alphabet := history.QueueAlphabet(2)
+	qca := quorum.NewQCA("bench", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold()).Compiled()
+	mpq := specs.MultiPriorityQueue()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := automaton.Compare(qca, mpq, alphabet, 6)
+		if !res.Equal {
+			b.Fatal("should be equal")
+		}
+	}
+}
+
+// BenchmarkCompiledQCALanguage counts the compiled QCA's language —
+// the view-family automaton (quorum/viewauto.go) driving every
+// language-equivalence experiment.
+func BenchmarkCompiledQCALanguage(b *testing.B) {
+	alphabet := history.QueueAlphabet(2)
+	qca := quorum.NewQCA("bench", specs.PriorityQueue(), quorum.Q1().Union(quorum.Q2()), quorum.PQFold()).Compiled()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		counts := automaton.CountLanguage(qca, alphabet, 8)
+		if counts[0] != 1 {
+			b.Fatal("bad counts")
 		}
 	}
 }

@@ -55,7 +55,7 @@ func run(w io.Writer, sites, ops int, seed int64, pCrash, pRepair, pPartition fl
 		Sites:   sites,
 		Quorums: voting,
 		Base:    specs.PriorityQueue(),
-		Eval:    quorum.PQEval,
+		Fold:    quorum.PQFold(),
 		Respond: cluster.PQResponder,
 	})
 	g := sim.NewRNG(seed)

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	relaxctl list
-//	relaxctl run [-seed N] [-trials N] [-maxlen N] [-maxelem N] [-sites N] [ID|all]
+//	relaxctl run [-seed N] [-trials N] [-maxlen N] [-maxelem N] [-sites N] [-parallel] [ID|all]
 //	relaxctl lattice [taxi|taxi-prime|fifo|account|account-full|semiqueue|stuttering|combined]
 //	relaxctl dot (lattice|automaton) [name]
 //	relaxctl verify [-maxlen N] [-maxelem N]
@@ -93,7 +93,9 @@ flags for run/verify:
   -trials N    Monte-Carlo trials
   -maxlen N    history length bound
   -maxelem N   element domain bound
-  -sites N     replica sites for cluster simulations`)
+  -sites N     replica sites for cluster simulations
+  -parallel    (run all) run experiments concurrently; output is
+               byte-identical to the serial run`)
 	return nil
 }
 
@@ -117,6 +119,7 @@ func configFlags(fs *flag.FlagSet) *experiments.Config {
 func runExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	cfg := configFlags(fs)
+	parallel := fs.Bool("parallel", false, "run experiments concurrently (output identical to serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +128,9 @@ func runExperiments(args []string, w io.Writer) error {
 		target = fs.Arg(0)
 	}
 	if target == "all" {
+		if *parallel {
+			return experiments.RunAllParallel(w, *cfg, 0)
+		}
 		return experiments.RunAll(w, *cfg)
 	}
 	e, ok := experiments.Find(strings.ToUpper(target))

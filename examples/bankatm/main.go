@@ -49,7 +49,7 @@ func main() {
 		Sites:   3,
 		Quorums: votes,
 		Base:    specs.BankAccount(),
-		Eval:    quorum.AccountEval,
+		Fold:    quorum.AccountFold(),
 		Respond: cluster.AccountResponder,
 	})
 

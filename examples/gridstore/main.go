@@ -40,7 +40,7 @@ func main() {
 		Sites:   6,
 		Quorums: grid,
 		Base:    specs.PriorityQueue(),
-		Eval:    quorum.PQEval,
+		Fold:    quorum.PQFold(),
 		Respond: cluster.PQResponder,
 	})
 	cl := c.Client(0)

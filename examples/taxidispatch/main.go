@@ -37,7 +37,7 @@ func main() {
 		Sites:   5,
 		Quorums: quorum.TaxiAssignments(5)["Q1Q2"],
 		Base:    specs.PriorityQueue(),
-		Eval:    quorum.PQEval,
+		Fold:    quorum.PQFold(),
 		Respond: cluster.PQResponder,
 	})
 	dispatcher := c.Client(0)

@@ -19,7 +19,9 @@ import (
 // Automaton is a simple object automaton. Step returns the set of
 // possible successor states of s on operation execution op; an empty
 // result means op is not accepted from s. Implementations must be
-// deterministic functions of (s, op) and must not mutate s.
+// deterministic functions of (s, op), must not mutate s, and must be
+// safe for concurrent Step calls: the exploration engine (engine.go)
+// shards its frontier across a worker pool.
 type Automaton interface {
 	// Name identifies the automaton (used in lattice and experiment output).
 	Name() string
@@ -44,6 +46,17 @@ func StatesAfter(a Automaton, h history.History) []value.Value {
 }
 
 func stepAll(a Automaton, states []value.Value, op history.Op) []value.Value {
+	// Fast path: a single state with at most one successor (the common
+	// deterministic-automaton case) needs no map or sort.
+	if len(states) == 1 {
+		next := a.Step(states[0], op)
+		if len(next) == 0 {
+			return nil
+		}
+		if len(next) == 1 {
+			return next
+		}
+	}
 	next := make(map[string]value.Value)
 	for _, s := range states {
 		for _, s2 := range a.Step(s, op) {

@@ -233,7 +233,7 @@ func TestLanguageAndCounts(t *testing.T) {
 		t.Fatalf("language = %v", lang)
 	}
 	counts := CountLanguage(counter(), alphabet, 2)
-	want := []int{1, 1, 2}
+	want := []uint64{1, 1, 2}
 	for i := range want {
 		if counts[i] != want[i] {
 			t.Errorf("counts = %v, want %v", counts, want)

@@ -1,6 +1,8 @@
 package automaton
 
 import (
+	"sync"
+
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/value"
 )
@@ -17,9 +19,48 @@ func (p PairState) Key() string { return "(" + p.A.Key() + "×" + p.B.Key() + ")
 // String renders the pair.
 func (p PairState) String() string { return "(" + p.A.String() + ", " + p.B.String() + ")" }
 
+// stepCache is a successor transposition cache shared by the combined
+// automata: combined states multiply component nondeterminism, so the
+// same (state, op) successor computation recurs across exploration
+// nodes. Step results are deterministic and immutable, so caching them
+// behind a lock preserves determinism while staying safe for the
+// engine's concurrent Step calls.
+type stepCache struct {
+	mu sync.RWMutex
+	// steps memoizes Step results by state key and operation;
+	// guarded by mu.
+	steps map[string][]value.Value
+}
+
+func newStepCache() *stepCache {
+	return &stepCache{steps: make(map[string][]value.Value)}
+}
+
+// lookup returns the cached successors for (s, op), if present.
+func (c *stepCache) lookup(key string) ([]value.Value, bool) {
+	c.mu.RLock()
+	v, ok := c.steps[key]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// store records the successors for a cache key.
+func (c *stepCache) store(key string, v []value.Value) {
+	c.mu.Lock()
+	c.steps[key] = v
+	c.mu.Unlock()
+}
+
+// cacheKey combines a state's canonical key with an operation. State
+// keys are printable, so the NUL separator cannot collide.
+func cacheKey(s value.Value, op history.Op) string {
+	return s.Key() + "\x00" + op.String()
+}
+
 type product struct {
-	name string
-	a, b Automaton
+	name  string
+	a, b  Automaton
+	cache *stepCache
 }
 
 var _ Automaton = (*product)(nil)
@@ -29,7 +70,7 @@ var _ Automaton = (*product)(nil)
 // state is accepting), the pairwise product accepts a history exactly
 // when both components do.
 func Intersect(name string, a, b Automaton) Automaton {
-	return &product{name: name, a: a, b: b}
+	return &product{name: name, a: a, b: b, cache: newStepCache()}
 }
 
 func (p *product) Name() string { return p.name }
@@ -43,6 +84,16 @@ func (p *product) Step(s value.Value, op history.Op) []value.Value {
 	if !ok {
 		return nil
 	}
+	key := cacheKey(s, op)
+	if out, ok := p.cache.lookup(key); ok {
+		return out
+	}
+	out := p.step(ps, op)
+	p.cache.store(key, out)
+	return out
+}
+
+func (p *product) step(ps PairState, op history.Op) []value.Value {
 	nextA := p.a.Step(ps.A, op)
 	if len(nextA) == 0 {
 		return nil
@@ -61,8 +112,9 @@ func (p *product) Step(s value.Value, op history.Op) []value.Value {
 }
 
 type union struct {
-	name string
-	a, b Automaton
+	name  string
+	a, b  Automaton
+	cache *stepCache
 }
 
 var _ Automaton = (*union)(nil)
@@ -89,7 +141,7 @@ func (e eitherState) String() string { return e.Key() }
 // Union returns an automaton accepting L(a) ∪ L(b): it runs both
 // components and accepts while at least one is alive.
 func Union(name string, a, b Automaton) Automaton {
-	return &union{name: name, a: a, b: b}
+	return &union{name: name, a: a, b: b, cache: newStepCache()}
 }
 
 func (u *union) Name() string { return u.name }
@@ -103,6 +155,16 @@ func (u *union) Step(s value.Value, op history.Op) []value.Value {
 	if !ok {
 		return nil
 	}
+	key := cacheKey(s, op)
+	if out, ok := u.cache.lookup(key); ok {
+		return out
+	}
+	out := u.step(es, op)
+	u.cache.store(key, out)
+	return out
+}
+
+func (u *union) step(es eitherState, op history.Op) []value.Value {
 	// Track each component's full state set inside a single union
 	// state, so nondeterministic branching does not split liveness
 	// between siblings. We fold the component state sets here.

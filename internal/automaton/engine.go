@@ -1,0 +1,281 @@
+package automaton
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// This file implements the memoized powerset exploration engine behind
+// Compare, CountLanguage, and IsDeterministic.
+//
+// For a simple object automaton, acceptance of every extension of a
+// history h depends only on the reachable state set δ*(h) — not on h
+// itself. Bounded language exploration therefore does not need one
+// frontier node per accepted history (|alphabet|^maxLen of them); it can
+// partition the histories of each length into equivalence classes by
+// their canonical state-set key and carry one node per class with a
+// multiplicity count. For the automata in this repository the number of
+// distinct classes per depth is small and roughly constant, so the
+// exponential frontier collapses to near-linear work in maxLen.
+//
+// Soundness rests on two facts: languages of simple object automata are
+// prefix-closed, and δ* factors through state sets
+// (δ*(h·p) = ⋃_{s∈δ*(h)} δ(s, p)), so every history in a class has
+// exactly the same accepted extensions. Counts are exact because class
+// multiplicities sum the histories merged into the class, with every
+// addition overflow-checked.
+//
+// Counterexamples stay exact too: each class carries the
+// lexicographically least history mapping to it (as alphabet indices).
+// The frontier is kept in first-discovery order, which by induction is
+// the lexicographic order of those representatives, so the first class
+// whose membership differs between the two automata yields the same
+// counterexample history the per-history BFS would have found.
+//
+// Parallelism is deterministic by construction: each depth's frontier is
+// split into contiguous chunks, one per worker; workers emit child
+// updates in (parent, op) order; and the merge concatenates the chunks
+// in worker order, which reproduces the serial discovery order exactly.
+// No map iteration order ever escapes (relaxlint det-maporder stays
+// green), so any GOMAXPROCS yields byte-identical results.
+
+// langClass is one equivalence class of same-length histories: all
+// histories h with identical (δ*_A(h), δ*_B(h)) state-set pairs.
+type langClass struct {
+	statesA []value.Value // δ*_A of the class members; nil = rejected by A
+	statesB []value.Value // δ*_B likewise (unused in single-automaton mode)
+	mult    uint64        // number of histories in the class
+	rep     []byte        // alphabet indices of the lexicographically least member
+}
+
+// deadKey marks a rejected side in class keys. State keys are printable,
+// so the control bytes used here cannot collide with them.
+const (
+	deadKey     = "\x00"
+	setKeySep   = '\x1e'
+	sideKeySep  = "\x1f"
+	maxAlphabet = 256
+	minParFront = 64 // below this, sharding costs more than it saves
+	overflowMsg = "automaton: bounded history count overflows uint64"
+	alphabetMsg = "automaton: alphabet too large for the exploration engine"
+)
+
+// setKey canonically encodes a state set (already deduplicated and
+// sorted by stepAll).
+func setKey(states []value.Value) string {
+	if states == nil {
+		return deadKey
+	}
+	var b strings.Builder
+	for i, s := range states {
+		if i > 0 {
+			b.WriteByte(setKeySep)
+		}
+		b.WriteString(s.Key())
+	}
+	return b.String()
+}
+
+// addMult is overflow-checked uint64 addition.
+func addMult(a, b uint64) uint64 {
+	if a > math.MaxUint64-b {
+		panic(overflowMsg)
+	}
+	return a + b
+}
+
+// repHistory rebuilds a representative history from alphabet indices.
+func repHistory(rep []byte, alphabet []history.Op) history.History {
+	h := make(history.History, len(rep))
+	for i, idx := range rep {
+		h[i] = alphabet[idx]
+	}
+	return h
+}
+
+// childUpdate is one live child emitted during depth expansion, before
+// merging into classes.
+type childUpdate struct {
+	key              string
+	statesA, statesB []value.Value
+	parent           int // frontier index of the parent class
+	op               int // alphabet index of the appended operation
+	mult             uint64
+}
+
+// expandRange expands frontier[lo:hi] by every alphabet operation,
+// emitting live children in (parent, op) order. b may be nil
+// (single-automaton mode).
+func expandRange(a, b Automaton, frontier []langClass, alphabet []history.Op, lo, hi int) []childUpdate {
+	out := make([]childUpdate, 0, (hi-lo)*len(alphabet))
+	for i := lo; i < hi; i++ {
+		c := frontier[i]
+		for op := range alphabet {
+			var sa, sb []value.Value
+			if c.statesA != nil {
+				sa = stepAll(a, c.statesA, alphabet[op])
+			}
+			if b != nil && c.statesB != nil {
+				sb = stepAll(b, c.statesB, alphabet[op])
+			}
+			if sa == nil && sb == nil {
+				continue // dead for both; prefix closure prunes the subtree
+			}
+			key := setKey(sa)
+			if b != nil {
+				key += sideKeySep + setKey(sb)
+			}
+			out = append(out, childUpdate{key: key, statesA: sa, statesB: sb, parent: i, op: op, mult: c.mult})
+		}
+	}
+	return out
+}
+
+// expandChunks shards the frontier across a GOMAXPROCS worker pool and
+// concatenates the per-worker results in worker order, which equals the
+// serial emission order because the chunks are contiguous.
+func expandChunks(a, b Automaton, frontier []langClass, alphabet []history.Op) []childUpdate {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(frontier) {
+		workers = len(frontier)
+	}
+	if workers <= 1 || len(frontier) < minParFront {
+		return expandRange(a, b, frontier, alphabet, 0, len(frontier))
+	}
+	parts := make([][]childUpdate, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * len(frontier) / workers
+		hi := (w + 1) * len(frontier) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = expandRange(a, b, frontier, alphabet, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]childUpdate, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// expandClasses computes the next depth's frontier: children are merged
+// by class key in first-discovery order, accumulating multiplicities.
+func expandClasses(a, b Automaton, frontier []langClass, alphabet []history.Op) []langClass {
+	updates := expandChunks(a, b, frontier, alphabet)
+	index := make(map[string]int, len(updates))
+	next := make([]langClass, 0, len(updates))
+	for _, u := range updates {
+		if i, ok := index[u.key]; ok {
+			next[i].mult = addMult(next[i].mult, u.mult)
+			continue
+		}
+		parentRep := frontier[u.parent].rep
+		rep := make([]byte, len(parentRep)+1)
+		copy(rep, parentRep)
+		rep[len(parentRep)] = byte(u.op)
+		index[u.key] = len(next)
+		next = append(next, langClass{statesA: u.statesA, statesB: u.statesB, mult: u.mult, rep: rep})
+	}
+	return next
+}
+
+func checkAlphabet(alphabet []history.Op) {
+	if len(alphabet) > maxAlphabet {
+		panic(alphabetMsg)
+	}
+}
+
+// Compare explores every history over alphabet of length ≤ maxLen
+// accepted by at least one of a, b, and reports per-length counts,
+// bounded language equality, and first counterexamples in each
+// direction. It runs on the memoized powerset engine (see the package
+// comment above) and produces exactly the counts, verdicts, and
+// counterexamples of the per-history exploration NaiveCompare.
+func Compare(a, b Automaton, alphabet []history.Op, maxLen int) CompareResult {
+	checkAlphabet(alphabet)
+	res := CompareResult{
+		MaxLen: maxLen,
+		CountA: make([]uint64, maxLen+1),
+		CountB: make([]uint64, maxLen+1),
+		Equal:  true,
+	}
+	frontier := []langClass{{
+		statesA: []value.Value{a.Init()},
+		statesB: []value.Value{b.Init()},
+		mult:    1,
+	}}
+	res.CountA[0], res.CountB[0] = 1, 1
+	res.Explored = 1
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		frontier = expandClasses(a, b, frontier, alphabet)
+		for _, c := range frontier {
+			res.Explored = addMult(res.Explored, c.mult)
+			inA, inB := c.statesA != nil, c.statesB != nil
+			if inA {
+				res.CountA[depth] = addMult(res.CountA[depth], c.mult)
+			}
+			if inB {
+				res.CountB[depth] = addMult(res.CountB[depth], c.mult)
+			}
+			if inA != inB {
+				res.Equal = false
+				if inA && res.OnlyA == nil {
+					res.OnlyA = repHistory(c.rep, alphabet)
+				}
+				if inB && res.OnlyB == nil {
+					res.OnlyB = repHistory(c.rep, alphabet)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// CountLanguage returns the number of accepted histories of each length
+// 0..maxLen without materializing them, using the memoized powerset
+// engine. Counts are exact and overflow-checked.
+func CountLanguage(a Automaton, alphabet []history.Op, maxLen int) []uint64 {
+	checkAlphabet(alphabet)
+	counts := make([]uint64, maxLen+1)
+	counts[0] = 1
+	frontier := []langClass{{statesA: []value.Value{a.Init()}, mult: 1}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		frontier = expandClasses(a, nil, frontier, alphabet)
+		for _, c := range frontier {
+			counts[depth] = addMult(counts[depth], c.mult)
+		}
+	}
+	return counts
+}
+
+// IsDeterministic reports, by bounded exploration on the powerset
+// engine, whether δ*(H) is a singleton for every accepted history H of
+// length ≤ maxLen — the property the proof of Theorem 4 uses ("the
+// postconditions ... completely determine the new value of the queue").
+// It returns a witness history with multiple reachable states when not;
+// the witness is the first one the per-history BFS would have found.
+func IsDeterministic(a Automaton, alphabet []history.Op, maxLen int) (bool, history.History) {
+	checkAlphabet(alphabet)
+	frontier := []langClass{{statesA: []value.Value{a.Init()}, mult: 1}}
+	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {
+		frontier = expandClasses(a, nil, frontier, alphabet)
+		for _, c := range frontier {
+			if len(c.statesA) > 1 {
+				return false, repHistory(c.rep, alphabet)
+			}
+		}
+	}
+	return true, nil
+}

@@ -16,15 +16,17 @@ type CompareResult struct {
 	// MaxLen is the history-length bound of the exploration.
 	MaxLen int
 	// CountA[l] and CountB[l] are the numbers of accepted histories of
-	// length exactly l, for l in 0..MaxLen.
-	CountA, CountB []int
+	// length exactly l, for l in 0..MaxLen. Counts are exact uint64
+	// values; every accumulation is overflow-checked.
+	CountA, CountB []uint64
 	// Equal reports L(A) = L(B) restricted to histories ≤ MaxLen.
 	Equal bool
 	// OnlyA is the first history found in L(A) \ L(B), if any; OnlyB
 	// likewise for L(B) \ L(A).
 	OnlyA, OnlyB history.History
-	// Explored is the total number of histories visited.
-	Explored int
+	// Explored is the total number of histories visited (accepted by at
+	// least one side).
+	Explored uint64
 }
 
 // SubsetAB reports L(A) ⊆ L(B) up to the bound.
@@ -50,15 +52,15 @@ type exploreNode struct {
 	statesB []value.Value // nil = h ∉ L(B)
 }
 
-// Compare explores every history over alphabet of length ≤ maxLen
-// accepted by at least one of a, b, and reports per-length counts,
-// bounded language equality, and first counterexamples in each
-// direction.
-func Compare(a, b Automaton, alphabet []history.Op, maxLen int) CompareResult {
+// NaiveCompare is the direct per-history BFS comparison: one frontier
+// node per accepted history. It is kept as the differential-test oracle
+// for the memoized powerset engine behind Compare (see engine.go) and
+// is exponentially slower; production callers should use Compare.
+func NaiveCompare(a, b Automaton, alphabet []history.Op, maxLen int) CompareResult {
 	res := CompareResult{
 		MaxLen: maxLen,
-		CountA: make([]int, maxLen+1),
-		CountB: make([]int, maxLen+1),
+		CountA: make([]uint64, maxLen+1),
+		CountB: make([]uint64, maxLen+1),
 		Equal:  true,
 	}
 	frontier := []exploreNode{{
@@ -135,12 +137,9 @@ func Language(a Automaton, alphabet []history.Op, maxLen int) []history.History 
 	return out
 }
 
-// IsDeterministic reports, by bounded exploration, whether δ*(H) is a
-// singleton for every accepted history H of length ≤ maxLen — the
-// property the proof of Theorem 4 uses ("the postconditions ...
-// completely determine the new value of the queue"). It returns a
-// witness history with multiple reachable states when not.
-func IsDeterministic(a Automaton, alphabet []history.Op, maxLen int) (bool, history.History) {
+// NaiveIsDeterministic is the per-history BFS determinism check, kept
+// as the differential-test oracle for IsDeterministic (engine.go).
+func NaiveIsDeterministic(a Automaton, alphabet []history.Op, maxLen int) (bool, history.History) {
 	type node struct {
 		h      history.History
 		states []value.Value
@@ -166,13 +165,13 @@ func IsDeterministic(a Automaton, alphabet []history.Op, maxLen int) (bool, hist
 	return true, nil
 }
 
-// CountLanguage returns the number of accepted histories of each length
-// 0..maxLen without materializing them.
-func CountLanguage(a Automaton, alphabet []history.Op, maxLen int) []int {
+// NaiveCountLanguage is the per-history BFS language counter, kept as
+// the differential-test oracle for CountLanguage (engine.go).
+func NaiveCountLanguage(a Automaton, alphabet []history.Op, maxLen int) []uint64 {
 	type node struct {
 		states []value.Value
 	}
-	counts := make([]int, maxLen+1)
+	counts := make([]uint64, maxLen+1)
 	counts[0] = 1
 	frontier := []node{{states: []value.Value{a.Init()}}}
 	for depth := 1; depth <= maxLen && len(frontier) > 0; depth++ {

@@ -48,8 +48,12 @@ type Config struct {
 	// responses must satisfy.
 	Base *automaton.Spec
 	// Eval is the evaluation function η used to interpret views; nil
-	// defaults to δ* of Base.
+	// defaults to δ* of Base. Prefer Fold where available.
 	Eval quorum.Eval
+	// Fold is η in incremental (fold) form. When set it takes precedence
+	// over Eval and lets the cluster evaluate views directly from their
+	// log entries, without materializing a history per operation.
+	Fold *quorum.FoldEval
 	// Respond chooses responses from views.
 	Respond Responder
 }
@@ -57,13 +61,14 @@ type Config struct {
 // Cluster is the simulated replicated object.
 type Cluster struct {
 	mu       sync.Mutex
-	cfg      Config          // immutable after New
-	eval     quorum.Eval     // immutable after New
-	logs     []quorum.Log    // guarded by mu
-	up       []bool          // guarded by mu
-	comp     []int           // guarded by mu; network component per site; equal = mutually reachable
-	observed history.History // guarded by mu
-	nextID   int             // guarded by mu
+	cfg      Config           // immutable after New
+	eval     quorum.Eval      // immutable after New
+	fold     *quorum.FoldEval // immutable after New; nil when Eval is used
+	logs     []quorum.Log     // guarded by mu
+	up       []bool           // guarded by mu
+	comp     []int            // guarded by mu; network component per site; equal = mutually reachable
+	observed history.History  // guarded by mu
+	nextID   int              // guarded by mu
 }
 
 // New builds a cluster with all sites up and fully connected. It
@@ -78,13 +83,15 @@ func New(cfg Config) *Cluster {
 	if cfg.Quorums.Sites() != cfg.Sites {
 		panic(fmt.Sprintf("cluster: assignment over %d sites, cluster has %d", cfg.Quorums.Sites(), cfg.Sites))
 	}
+	fold := cfg.Fold
 	eval := cfg.Eval
-	if eval == nil {
-		eval = quorum.DeltaEval(cfg.Base)
+	if fold == nil && eval == nil {
+		fold = quorum.DeltaFold(cfg.Base)
 	}
 	c := &Cluster{
 		cfg:  cfg,
 		eval: eval,
+		fold: fold,
 		logs: make([]quorum.Log, cfg.Sites),
 		up:   make([]bool, cfg.Sites),
 		comp: make([]int, cfg.Sites),
@@ -279,7 +286,7 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 		logs = append(logs, c.logs[s])
 	}
 	view := quorum.Merge(logs...)
-	states := c.eval(view.History())
+	states := c.evalView(view)
 	if len(states) == 0 {
 		return history.Op{}, fmt.Errorf("cluster: view not interpretable by η")
 	}
@@ -304,8 +311,20 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 	for _, site := range reachable {
 		c.logs[site] = quorum.Merge(c.logs[site], updated)
 	}
-	c.observed = c.observed.Append(op)
+	// Grown in place: Observed copies on read, and only Execute (under
+	// mu) appends, so amortized growth never aliases a caller's snapshot.
+	c.observed = append(c.observed, op)
 	return op, nil
+}
+
+// evalView interprets a view through η. Caller holds mu.
+//
+//lint:ignore lock-guard caller holds mu (every call site is under Lock)
+func (c *Cluster) evalView(view quorum.Log) []value.Value {
+	if c.fold != nil {
+		return c.fold.EvalLog(view)
+	}
+	return c.eval(view.History())
 }
 
 func hasQuorum(v quorum.Assignment, op string, reachable []int, sites int) bool {

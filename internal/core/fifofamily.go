@@ -32,7 +32,7 @@ func FIFOLattice() *lattice.Relaxation {
 		Universe: u,
 		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
 			name := "QCA(FIFO," + u.Format(s) + ",η)"
-			return quorum.NewQCA(name, specs.FIFOQueue(), taxiRelation(u, s), quorum.FIFOEval), true
+			return quorum.NewQCA(name, specs.FIFOQueue(), taxiRelation(u, s), quorum.FIFOFold()).Compiled(), true
 		},
 	}
 }
@@ -57,13 +57,13 @@ func FIFOEquivalent(u *lattice.Universe, s lattice.Set) automaton.Automaton {
 // CheckFIFOTheorem verifies the FIFO analog of Theorem 4 up to the
 // bound: L(QCA(FifoQueue, Q₁, η_fifo)) = L(MFQueue).
 func CheckFIFOTheorem(b Bound) ClaimResult {
-	qca := quorum.NewQCA("QCA(FIFO,{Q1},η)", specs.FIFOQueue(), quorum.Q1(), quorum.FIFOEval)
+	qca := quorum.NewQCA("QCA(FIFO,{Q1},η)", specs.FIFOQueue(), quorum.Q1(), quorum.FIFOFold())
 	mfq := specs.MultiFIFOQueue()
 	return ClaimResult{
 		Name:    "FIFO Theorem-4 analog",
 		LHS:     qca.Name(),
 		RHS:     mfq.Name(),
-		Compare: automaton.Compare(qca, mfq, b.alphabet(), b.MaxLen),
+		Compare: automaton.Compare(qca.Compiled(), mfq, b.alphabet(), b.MaxLen),
 	}
 }
 

@@ -50,7 +50,7 @@ func TaxiLattice() *lattice.Relaxation {
 		Universe: u,
 		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
 			name := "QCA(PQ," + u.Format(s) + ",η)"
-			return quorum.NewQCA(name, specs.PriorityQueue(), taxiRelation(u, s), quorum.PQEval), true
+			return quorum.NewQCA(name, specs.PriorityQueue(), taxiRelation(u, s), quorum.PQFold()).Compiled(), true
 		},
 	}
 }
@@ -66,7 +66,7 @@ func TaxiLatticePrime() *lattice.Relaxation {
 		Universe: u,
 		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
 			name := "QCA(PQ," + u.Format(s) + ",η′)"
-			return quorum.NewQCA(name, specs.PriorityQueue(), taxiRelation(u, s), quorum.PQEvalPrime), true
+			return quorum.NewQCA(name, specs.PriorityQueue(), taxiRelation(u, s), quorum.PQPrimeFold()).Compiled(), true
 		},
 	}
 }

@@ -37,39 +37,39 @@ func (r ClaimResult) Holds() bool { return r.Compare.Equal }
 // CheckTheorem4 verifies Theorem 4 up to the bound:
 // L(QCA(PQ, Q₁, η)) = L(MPQ).
 func CheckTheorem4(b Bound) ClaimResult {
-	qca := quorum.NewQCA("QCA(PQ,{Q1},η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,{Q1},η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold())
 	mpq := specs.MultiPriorityQueue()
 	return ClaimResult{
 		Name:    "Theorem 4",
 		LHS:     qca.Name(),
 		RHS:     mpq.Name(),
-		Compare: automaton.Compare(qca, mpq, b.alphabet(), b.MaxLen),
+		Compare: automaton.Compare(qca.Compiled(), mpq, b.alphabet(), b.MaxLen),
 	}
 }
 
 // CheckOutOfOrderClaim verifies the companion claim of Section 3.3:
 // L(QCA(PQ, Q₂, η)) = L(OPQ).
 func CheckOutOfOrderClaim(b Bound) ClaimResult {
-	qca := quorum.NewQCA("QCA(PQ,{Q2},η)", specs.PriorityQueue(), quorum.Q2(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,{Q2},η)", specs.PriorityQueue(), quorum.Q2(), quorum.PQFold())
 	opq := specs.OutOfOrderQueue()
 	return ClaimResult{
 		Name:    "Out-of-order claim",
 		LHS:     qca.Name(),
 		RHS:     opq.Name(),
-		Compare: automaton.Compare(qca, opq, b.alphabet(), b.MaxLen),
+		Compare: automaton.Compare(qca.Compiled(), opq, b.alphabet(), b.MaxLen),
 	}
 }
 
 // CheckDegenerateClaim verifies the final claim of Section 3.3:
 // L(QCA(PQ, ∅, η)) = L(DegenPQ).
 func CheckDegenerateClaim(b Bound) ClaimResult {
-	qca := quorum.NewQCA("QCA(PQ,∅,η)", specs.PriorityQueue(), quorum.NewRelation(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,∅,η)", specs.PriorityQueue(), quorum.NewRelation(), quorum.PQFold())
 	degen := specs.DegeneratePriorityQueue()
 	return ClaimResult{
 		Name:    "Degenerate claim",
 		LHS:     qca.Name(),
 		RHS:     degen.Name(),
-		Compare: automaton.Compare(qca, degen, b.alphabet(), b.MaxLen),
+		Compare: automaton.Compare(qca.Compiled(), degen, b.alphabet(), b.MaxLen),
 	}
 }
 
@@ -77,13 +77,13 @@ func CheckDegenerateClaim(b Bound) ClaimResult {
 // L(QCA(PQ, {Q₁,Q₂}, η)) = L(PQ), i.e. quorum consensus with the full
 // constraint set is one-copy serializable (Section 3.2).
 func CheckOneCopySerializability(b Bound) ClaimResult {
-	qca := quorum.NewQCA("QCA(PQ,{Q1,Q2},η)", specs.PriorityQueue(), quorum.Q1().Union(quorum.Q2()), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,{Q1,Q2},η)", specs.PriorityQueue(), quorum.Q1().Union(quorum.Q2()), quorum.PQFold())
 	pq := specs.PriorityQueue()
 	return ClaimResult{
 		Name:    "One-copy serializability",
 		LHS:     qca.Name(),
 		RHS:     pq.Name(),
-		Compare: automaton.Compare(qca, pq, b.alphabet(), b.MaxLen),
+		Compare: automaton.Compare(qca.Compiled(), pq, b.alphabet(), b.MaxLen),
 	}
 }
 
@@ -93,20 +93,20 @@ func CheckOneCopySerializability(b Bound) ClaimResult {
 // {1..MaxElem}.
 func CheckAccountClaims(b Bound) []ClaimResult {
 	alphabet := history.AccountAlphabet(b.MaxElem)
-	full := quorum.NewQCA("QCA(Acct,{A1,A2},η)", specs.BankAccount(), quorum.A1().Union(quorum.A2()), quorum.AccountEval)
-	relaxed := quorum.NewQCA("QCA(Acct,{A2},η)", specs.BankAccount(), quorum.A2(), quorum.AccountEval)
+	full := quorum.NewQCA("QCA(Acct,{A1,A2},η)", specs.BankAccount(), quorum.A1().Union(quorum.A2()), quorum.AccountFold())
+	relaxed := quorum.NewQCA("QCA(Acct,{A2},η)", specs.BankAccount(), quorum.A2(), quorum.AccountFold())
 	return []ClaimResult{
 		{
 			Name:    "Account one-copy serializability",
 			LHS:     full.Name(),
 			RHS:     "Account",
-			Compare: automaton.Compare(full, specs.BankAccount(), alphabet, b.MaxLen),
+			Compare: automaton.Compare(full.Compiled(), specs.BankAccount(), alphabet, b.MaxLen),
 		},
 		{
 			Name:    "Premature-debit degradation",
 			LHS:     relaxed.Name(),
 			RHS:     "SpuriousAccount",
-			Compare: automaton.Compare(relaxed, specs.SpuriousAccount(), alphabet, b.MaxLen),
+			Compare: automaton.Compare(relaxed.Compiled(), specs.SpuriousAccount(), alphabet, b.MaxLen),
 		},
 	}
 }

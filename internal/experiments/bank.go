@@ -33,7 +33,7 @@ func bankCluster(cfg Config, debitQuorum int) *cluster.Cluster {
 		Sites:   cfg.Sites,
 		Quorums: votes,
 		Base:    specs.BankAccount(),
-		Eval:    quorum.AccountEval,
+		Fold:    quorum.AccountFold(),
 		Respond: cluster.AccountResponder,
 	})
 }

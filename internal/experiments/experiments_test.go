@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
 	"strings"
 	"testing"
 
@@ -77,6 +80,95 @@ func TestRunAll(t *testing.T) {
 	for _, id := range []string{"E01", "E08", "E16"} {
 		if !strings.Contains(out, "== "+id) {
 			t.Errorf("missing header for %s", id)
+		}
+	}
+}
+
+// The parallel runner must be byte-identical to the serial one, and
+// stable across repeated parallel runs.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 5000
+	cfg.Bound.MaxLen = 4
+	var serial bytes.Buffer
+	if err := RunAll(&serial, cfg); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for run := 0; run < 2; run++ {
+		var par bytes.Buffer
+		if err := RunAllParallel(&par, cfg, 4); err != nil {
+			t.Fatalf("RunAllParallel (run %d): %v", run, err)
+		}
+		if par.String() != serial.String() {
+			t.Fatalf("parallel output differs from serial (run %d)", run)
+		}
+	}
+}
+
+// A failing experiment must surface its ID, its partial output, and
+// nothing from later experiments — identically in serial and parallel
+// mode.
+func TestRunListErrorPath(t *testing.T) {
+	boom := errors.New("boom")
+	exps := []Experiment{
+		{ID: "T01", Title: "fine", Paper: "none", Run: func(w io.Writer, cfg Config) error {
+			fmt.Fprintln(w, "first output")
+			return nil
+		}},
+		{ID: "T02", Title: "broken", Paper: "none", Run: func(w io.Writer, cfg Config) error {
+			fmt.Fprintln(w, "partial output")
+			return boom
+		}},
+		{ID: "T03", Title: "unreached", Paper: "none", Run: func(w io.Writer, cfg Config) error {
+			fmt.Fprintln(w, "hidden output")
+			return nil
+		}},
+	}
+	var serial bytes.Buffer
+	errSerial := runList(&serial, Config{}, exps, 1)
+	var par bytes.Buffer
+	errPar := runList(&par, Config{}, exps, 4)
+	for name, err := range map[string]error{"serial": errSerial, "parallel": errPar} {
+		if err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("%s: error %v does not wrap the cause", name, err)
+		}
+		if !strings.Contains(err.Error(), "T02") {
+			t.Errorf("%s: error %v does not name the failing experiment", name, err)
+		}
+	}
+	if par.String() != serial.String() {
+		t.Errorf("error output differs:\nserial: %q\nparallel: %q", serial.String(), par.String())
+	}
+	out := serial.String()
+	if !strings.Contains(out, "partial output") {
+		t.Errorf("failing experiment's partial output missing:\n%s", out)
+	}
+	if strings.Contains(out, "hidden output") {
+		t.Errorf("output from after the failure leaked:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "partial output\n") {
+		t.Errorf("output should end at the failure point, got:\n%q", out)
+	}
+}
+
+// A panicking experiment becomes an error naming the experiment, not a
+// crashed run.
+func TestRunListPanicBecomesError(t *testing.T) {
+	exps := []Experiment{
+		{ID: "T10", Title: "panics", Paper: "none", Run: func(w io.Writer, cfg Config) error {
+			panic("kaboom")
+		}},
+	}
+	for _, workers := range []int{1, 4} {
+		err := runList(io.Discard, Config{}, exps, workers)
+		if err == nil {
+			t.Fatalf("workers=%d: expected error", workers)
+		}
+		if !strings.Contains(err.Error(), "T10") || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("workers=%d: error %v missing ID or panic value", workers, err)
 		}
 	}
 }

@@ -270,7 +270,7 @@ func max1(k int) int {
 // exhaustive bound: sample histories accepted by either side at length
 // up to 10 and require agreement.
 func TestTheorem4OnSampledLongHistories(t *testing.T) {
-	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold())
 	mpq := specs.MultiPriorityQueue()
 	alphabet := history.QueueAlphabet(3)
 	g := sim.NewRNG(1987)
@@ -328,7 +328,7 @@ func TestObservedHistoryAcceptedByQCA(t *testing.T) {
 	obs := c.Observed()
 	// The duplicate service is justified by QCA(PQ, Q1, η) — the formal
 	// counterpart of "the partition broke exactly Q2".
-	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold())
 	if !automaton.Accepts(qca, obs) {
 		t.Fatalf("QCA(PQ,Q1,η) rejects the partitioned execution: %v", obs)
 	}
@@ -452,7 +452,7 @@ func TestTheorem4AtLargerBound(t *testing.T) {
 		t.Fatalf("Theorem 4 fails at 3 elements: onlyQCA=%v onlyMPQ=%v",
 			r.Compare.OnlyA, r.Compare.OnlyB)
 	}
-	total := 0
+	var total uint64
 	for _, n := range r.Compare.CountA {
 		total += n
 	}

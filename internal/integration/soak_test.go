@@ -116,7 +116,7 @@ func TestSoakClusterMonitor(t *testing.T) {
 		obs := c.Observed()
 		// Everything the degraded cluster did is justified by the
 		// fully-relaxed QCA — i.e., by SOME choice of views.
-		qca := quorum.NewQCA("QCA(PQ,∅,η)", specs.PriorityQueue(), quorum.NewRelation(), quorum.PQEval)
+		qca := quorum.NewQCA("QCA(PQ,∅,η)", specs.PriorityQueue(), quorum.NewRelation(), quorum.PQFold())
 		// QCA acceptance enumerates views; for long histories use the
 		// degenerate equivalence instead (E06): L(QCA(PQ,∅,η)) = L(DegenPQ).
 		if !automaton.Accepts(specs.DegeneratePriorityQueue(), obs) {

@@ -12,7 +12,7 @@ import (
 // QCA(PQ, Q₁, η) tolerates duplicate service but never reorders —
 // Theorem 4 in miniature.
 func ExampleQCA() {
-	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQEval)
+	qca := quorum.NewQCA("QCA(PQ,Q1,η)", specs.PriorityQueue(), quorum.Q1(), quorum.PQFold())
 	dup := history.History{history.Enq(3), history.DeqOk(3), history.DeqOk(3)}
 	ooo := history.History{history.Enq(1), history.Enq(3), history.DeqOk(1)}
 	fmt.Println("duplicate service: ", automaton.Accepts(qca, dup))

@@ -65,7 +65,7 @@ func Merge(logs ...Log) Log {
 	case 0:
 		return Log{}
 	case 1:
-		return Log{entries: append([]Entry(nil), logs[0].entries...)}
+		return logs[0] // immutable, safe to share
 	}
 	acc := logs[0]
 	for _, l := range logs[1:] {
@@ -74,9 +74,44 @@ func Merge(logs ...Log) Log {
 	return acc
 }
 
+// containsAll reports whether every timestamp of sub appears in sup
+// (both sorted). Two-pointer walk, no allocation.
+func containsAll(sup, sub []Entry) bool {
+	if len(sub) > len(sup) {
+		return false
+	}
+	j := 0
+	for i := range sub {
+		for j < len(sup) && sup[j].TS.Less(sub[i].TS) {
+			j++
+		}
+		if j >= len(sup) || sup[j].TS != sub[i].TS {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
 // merge2 merges two sorted entry slices, discarding duplicate
-// timestamps (left wins).
+// timestamps (left wins). When one side already contains the other —
+// the overwhelmingly common case in quorum propagation, where a site
+// receives a view that grew from its own log — the containing side's
+// slice is returned as-is. Logs are immutable, so sharing is safe, and
+// the no-op merge allocates nothing.
 func merge2(a, b []Entry) Log {
+	if len(a) == 0 {
+		return Log{entries: b}
+	}
+	if len(b) == 0 {
+		return Log{entries: a}
+	}
+	if containsAll(b, a) {
+		return Log{entries: b}
+	}
+	if containsAll(a, b) {
+		return Log{entries: a}
+	}
 	out := make([]Entry, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {

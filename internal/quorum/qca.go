@@ -29,18 +29,20 @@ type QCA struct {
 	name string
 	base *automaton.Spec
 	rel  Relation
+	fold *FoldEval
 	eta  Eval
 }
 
 var _ automaton.Automaton = (*QCA)(nil)
 
-// NewQCA builds QCA(base, rel, eta). A nil eta defaults to δ* of base
-// (the two-parameter QCA(A, Q) of the paper).
-func NewQCA(name string, base *automaton.Spec, rel Relation, eta Eval) *QCA {
+// NewQCA builds QCA(base, rel, eta) with eta given in fold form (see
+// FoldEval). A nil eta defaults to δ* of base (the two-parameter
+// QCA(A, Q) of the paper).
+func NewQCA(name string, base *automaton.Spec, rel Relation, eta *FoldEval) *QCA {
 	if eta == nil {
-		eta = DeltaEval(base)
+		eta = DeltaFold(base)
 	}
-	return &QCA{name: name, base: base, rel: rel, eta: eta}
+	return &QCA{name: name, base: base, rel: rel, fold: eta, eta: eta.Eval}
 }
 
 // Name returns the automaton's name.
@@ -51,6 +53,9 @@ func (q *QCA) Base() *automaton.Spec { return q.base }
 
 // Relation returns the quorum intersection relation Q.
 func (q *QCA) Relation() Relation { return q.rel }
+
+// Fold returns the evaluation function η in fold form.
+func (q *QCA) Fold() *FoldEval { return q.fold }
 
 // Init returns the empty-history state.
 func (q *QCA) Init() value.Value { return HistState{H: history.Empty} }

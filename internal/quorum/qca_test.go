@@ -92,7 +92,7 @@ func TestAccountEval(t *testing.T) {
 func TestQCAWithFullRelationIsPQ(t *testing.T) {
 	// {Q1, Q2} is a serial dependency relation for PQ, so
 	// L(QCA(PQ, {Q1,Q2}, η)) = L(PQ) — one-copy serializability.
-	qca := NewQCA("QCA-PQ-full", specs.PriorityQueue(), q1q2(), PQEval)
+	qca := NewQCA("QCA-PQ-full", specs.PriorityQueue(), q1q2(), PQFold())
 	res := IsOneCopySerializable(qca, history.QueueAlphabet(2), 5)
 	if !res.Equal {
 		t.Fatalf("not one-copy serializable: onlyQCA=%v onlyPQ=%v", res.OnlyA, res.OnlyB)
@@ -100,7 +100,7 @@ func TestQCAWithFullRelationIsPQ(t *testing.T) {
 }
 
 func TestQCAQ1AcceptsDuplicatesInOrder(t *testing.T) {
-	qca := NewQCA("QCA-PQ-Q1", specs.PriorityQueue(), Q1(), PQEval)
+	qca := NewQCA("QCA-PQ-Q1", specs.PriorityQueue(), Q1(), PQFold())
 	// A view may omit the earlier Deq, so the request is serviced twice.
 	dup := history.History{history.Enq(3), history.DeqOk(3), history.DeqOk(3)}
 	if !automaton.Accepts(qca, dup) {
@@ -122,7 +122,7 @@ func TestQCAQ1AcceptsDuplicatesInOrder(t *testing.T) {
 }
 
 func TestQCAQ2AcceptsOutOfOrderOnly(t *testing.T) {
-	qca := NewQCA("QCA-PQ-Q2", specs.PriorityQueue(), Q2(), PQEval)
+	qca := NewQCA("QCA-PQ-Q2", specs.PriorityQueue(), Q2(), PQFold())
 	// A view may omit Enq(3), so 1 is dequeued out of order.
 	ooo := history.History{history.Enq(1), history.Enq(3), history.DeqOk(1)}
 	if !automaton.Accepts(qca, ooo) {
@@ -136,7 +136,7 @@ func TestQCAQ2AcceptsOutOfOrderOnly(t *testing.T) {
 }
 
 func TestQCAEmptyRelationDegenerate(t *testing.T) {
-	qca := NewQCA("QCA-PQ-none", specs.PriorityQueue(), NewRelation(), PQEval)
+	qca := NewQCA("QCA-PQ-none", specs.PriorityQueue(), NewRelation(), PQFold())
 	both := history.History{history.Enq(1), history.Enq(3), history.DeqOk(1), history.DeqOk(1)}
 	if !automaton.Accepts(qca, both) {
 		t.Errorf("∅ relaxation should accept duplicated out-of-order service")
@@ -212,9 +212,9 @@ func TestMinimality(t *testing.T) {
 	if len(wit) != 2 {
 		t.Fatalf("witness map = %v", wit)
 	}
-	for pair, stillOK := range wit {
-		if stillOK {
-			t.Errorf("dropping %v kept the serial dependency property; relation not minimal", pair)
+	for _, v := range wit {
+		if v.StillSerial {
+			t.Errorf("dropping %v kept the serial dependency property; relation not minimal", v.Dropped)
 		}
 	}
 }

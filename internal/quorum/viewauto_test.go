@@ -1,0 +1,106 @@
+package quorum
+
+import (
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/specs"
+)
+
+// The compiled view-family automaton must accept exactly the language
+// of the direct (history-state) QCA. NaiveCompare explores per history,
+// so this differential test does not itself depend on the engine.
+
+func queueRelations() []struct {
+	name string
+	rel  Relation
+} {
+	return []struct {
+		name string
+		rel  Relation
+	}{
+		{"empty", NewRelation()},
+		{"Q1", Q1()},
+		{"Q2", Q2()},
+		{"Q1Q2", Q1().Union(Q2())},
+	}
+}
+
+func TestCompiledMatchesDirectPriorityQueue(t *testing.T) {
+	alphabet := history.QueueAlphabet(2)
+	folds := []struct {
+		name string
+		fold *FoldEval
+	}{
+		{"eta", PQFold()},
+		{"etaPrime", PQPrimeFold()},
+		{"delta", nil}, // NewQCA defaults nil to DeltaFold(base)
+	}
+	for _, rc := range queueRelations() {
+		for _, fc := range folds {
+			q := NewQCA("qca", specs.PriorityQueue(), rc.rel, fc.fold)
+			res := automaton.NaiveCompare(q, q.Compiled(), alphabet, 5)
+			if !res.Equal {
+				t.Errorf("%s/%s: onlyDirect=%v onlyCompiled=%v", rc.name, fc.name, res.OnlyA, res.OnlyB)
+			}
+		}
+	}
+}
+
+func TestCompiledMatchesDirectFIFO(t *testing.T) {
+	alphabet := history.QueueAlphabet(2)
+	for _, rc := range queueRelations() {
+		q := NewQCA("qca", specs.FIFOQueue(), rc.rel, FIFOFold())
+		res := automaton.NaiveCompare(q, q.Compiled(), alphabet, 5)
+		if !res.Equal {
+			t.Errorf("%s: onlyDirect=%v onlyCompiled=%v", rc.name, res.OnlyA, res.OnlyB)
+		}
+	}
+}
+
+func TestCompiledMatchesDirectAccount(t *testing.T) {
+	alphabet := history.AccountAlphabet(2)
+	rels := []struct {
+		name string
+		rel  Relation
+	}{
+		{"empty", NewRelation()},
+		{"A1", A1()},
+		{"A2", A2()},
+		{"A1A2", A1().Union(A2())},
+	}
+	for _, rc := range rels {
+		q := NewQCA("qca", specs.BankAccount(), rc.rel, AccountFold())
+		res := automaton.NaiveCompare(q, q.Compiled(), alphabet, 5)
+		if !res.Equal {
+			t.Errorf("%s: onlyDirect=%v onlyCompiled=%v", rc.name, res.OnlyA, res.OnlyB)
+		}
+	}
+}
+
+func TestCompiledKeepsQCAName(t *testing.T) {
+	q := NewQCA("QCA(PQ,{Q1},η)", specs.PriorityQueue(), Q1(), PQFold())
+	if got := q.Compiled().Name(); got != "QCA(PQ,{Q1},η)" {
+		t.Errorf("Compiled().Name() = %q", got)
+	}
+}
+
+// The compiled automaton is deterministic at the state level: one
+// successor per accepted operation. That is what collapses the engine's
+// class frontier.
+func TestCompiledIsDeterministic(t *testing.T) {
+	q := NewQCA("qca", specs.PriorityQueue(), Q1(), PQFold())
+	ok, wit := automaton.IsDeterministic(q.Compiled(), history.QueueAlphabet(2), 6)
+	if !ok {
+		t.Errorf("compiled QCA nondeterministic at %v", wit)
+	}
+}
+
+// Step on a foreign state value must reject rather than panic.
+func TestCompiledStepForeignState(t *testing.T) {
+	q := NewQCA("qca", specs.PriorityQueue(), Q1(), PQFold())
+	if got := q.Compiled().Step(HistState{H: history.Empty}, history.Enq(1)); got != nil {
+		t.Errorf("Step on foreign state = %v, want nil", got)
+	}
+}
