@@ -18,9 +18,12 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot (ns/op + allocs) for PR
-# before/after comparisons.
+# before/after comparisons, with the deterministic obs metrics snapshot
+# of a full experiment sweep embedded alongside the timings.
 bench-json:
-	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) run ./cmd/relaxctl run -parallel -metrics .bench-metrics.json all >/dev/null
+	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -metrics .bench-metrics.json -o BENCH_PR3.json
+	rm -f .bench-metrics.json
 
 vet:
 	$(GO) vet ./...

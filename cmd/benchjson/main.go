@@ -2,6 +2,13 @@
 // snapshot: one record per benchmark with iterations, ns/op, and (when
 // -benchmem is on) B/op and allocs/op. It exists so benchmark numbers
 // can be committed and diffed across PRs (see `make bench-json`).
+//
+// With -metrics FILE (an obs snapshot written by `relaxctl run
+// -metrics`), the snapshot is embedded under "obs" along with a small
+// derived "obs_summary" (engine dedup rate, peak frontier) so a bench
+// diff shows *why* numbers moved, not just that they did. Both fields
+// are omitempty, so output without -metrics is schema-identical to
+// earlier PRs' snapshots.
 package main
 
 import (
@@ -12,6 +19,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"relaxlattice/internal/obs"
 )
 
 // Result is one benchmark line.
@@ -25,20 +34,64 @@ type Result struct {
 
 // Snapshot is the full converted run.
 type Snapshot struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
-	Benchmarks []Result `json:"benchmarks"`
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []Result      `json:"benchmarks"`
+	Obs        *obs.Snapshot `json:"obs,omitempty"`
+	ObsSummary *ObsSummary   `json:"obs_summary,omitempty"`
+}
+
+// ObsSummary is the digest of an embedded metrics snapshot: the
+// engine-health numbers a bench reviewer actually reads.
+type ObsSummary struct {
+	// EngineDedupRate is dedup_hits/updates across all expansions — the
+	// fraction of generated children merged into an existing state-set
+	// class. Higher is better: it is where the memoized powerset engine
+	// beats per-history search.
+	EngineDedupRate float64 `json:"engine_dedup_rate"`
+	// FrontierPeakClasses is the largest per-depth class frontier seen.
+	FrontierPeakClasses int64 `json:"frontier_peak_classes"`
+	// ExpandDepths is the total number of depth expansions performed.
+	ExpandDepths uint64 `json:"expand_depths"`
+}
+
+// summarize derives the reviewer digest from a metrics snapshot.
+func summarize(s *obs.Snapshot) *ObsSummary {
+	sum := &ObsSummary{}
+	updates, _ := s.Counter("engine.expand.updates")
+	dedup, _ := s.Counter("engine.expand.dedup_hits")
+	if updates > 0 {
+		sum.EngineDedupRate = float64(dedup) / float64(updates)
+	}
+	sum.FrontierPeakClasses, _ = s.Gauge("engine.frontier.peak_classes")
+	sum.ExpandDepths, _ = s.Counter("engine.expand.depths")
+	return sum
 }
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	metrics := flag.String("metrics", "", "obs snapshot JSON (from relaxctl run -metrics) to embed")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		data, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var o obs.Snapshot
+		if err := json.Unmarshal(data, &o); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		snap.Obs = &o
+		snap.ObsSummary = summarize(&o)
 	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {

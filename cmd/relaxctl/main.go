@@ -29,6 +29,7 @@ import (
 	"relaxlattice/internal/experiments"
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/specs"
 )
 
@@ -57,7 +58,7 @@ func run(args []string, w io.Writer) error {
 	case "audit":
 		return audit(args[1:], w)
 	case "trace":
-		return trace(w)
+		return trace(args[1:], w)
 	case "census":
 		return census(args[1:], w)
 	case "help", "-h", "--help":
@@ -95,7 +96,18 @@ flags for run/verify:
   -maxelem N   element domain bound
   -sites N     replica sites for cluster simulations
   -parallel    (run all) run experiments concurrently; output is
-               byte-identical to the serial run`)
+               byte-identical to the serial run
+  -workers N   (run) worker count for -parallel (0 = GOMAXPROCS)
+
+observability flags (run):
+  -metrics F   write the deterministic metrics snapshot (JSON) to F;
+               byte-identical across runs and worker counts at a seed
+  -trace F     write the logical-clock event journal (JSON Lines) to F;
+               same byte-determinism guarantee
+  -pprof ADDR  serve net/http/pprof on ADDR; scheduling-dependent
+               runtime metrics (cache hit rates, shard shapes) appear
+               at /debug/vars under "relaxlattice"
+  (trace also accepts -trace F to journal its degradation episodes)`)
 	return nil
 }
 
@@ -120,25 +132,60 @@ func runExperiments(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	cfg := configFlags(fs)
 	parallel := fs.Bool("parallel", false, "run experiments concurrently (output identical to serial)")
+	metricsPath := fs.String("metrics", "", "write the deterministic metrics snapshot (JSON) to this file")
+	tracePath := fs.String("trace", "", "write the logical-clock event journal (JSON Lines) to this file")
+	workers := fs.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar runtime metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr); err != nil {
+			return err
+		}
+	}
+	observing := *metricsPath != "" || *tracePath != ""
+	if observing {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Trace = obs.NewRecorder()
+		// Engine metrics land in the same deterministic registry: they
+		// are recorded at per-depth merge points identical for every
+		// worker count, and counter/gauge/histogram updates commute, so
+		// the snapshot bytes do not depend on experiment interleaving.
+		automaton.ObserveEngine(cfg.Metrics)
+		defer automaton.ObserveEngine(nil)
 	}
 	target := "all"
 	if fs.NArg() > 0 {
 		target = fs.Arg(0)
 	}
 	if target == "all" {
+		var err error
 		if *parallel {
-			return experiments.RunAllParallel(w, *cfg, 0)
+			err = experiments.RunAllParallel(w, *cfg, *workers)
+		} else {
+			err = experiments.RunAll(w, *cfg)
 		}
-		return experiments.RunAll(w, *cfg)
+		if err != nil {
+			return err
+		}
+		if observing {
+			return writeObsFiles(*metricsPath, *tracePath, cfg.Metrics, cfg.Trace)
+		}
+		return nil
 	}
 	e, ok := experiments.Find(strings.ToUpper(target))
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try: relaxctl list)", target)
 	}
 	fmt.Fprintf(w, "== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
-	return e.Run(w, *cfg)
+	if err := e.Run(w, *cfg); err != nil {
+		return err
+	}
+	if observing {
+		return writeObsFiles(*metricsPath, *tracePath, cfg.Metrics, cfg.Trace)
+	}
+	return nil
 }
 
 func lattices() map[string]*lattice.Relaxation {
@@ -267,8 +314,14 @@ func verify(args []string, w io.Writer) error {
 
 // trace demonstrates the combined automaton of Section 2.3: a crash
 // event relaxes a constraint mid-run, the behavior degrades, and a
-// repair restores it.
-func trace(w io.Writer) error {
+// repair restores it. With -trace FILE it also journals the degradation
+// episodes as JSON Lines (one "env.episode" event per constraint run).
+func trace(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	tracePath := fs.String("trace", "", "write the episode journal (JSON Lines) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	u := lattice.NewUniverse(
 		lattice.Constraint{Name: "J", Desc: "no duplicate returns"},
 		lattice.Constraint{Name: "K", Desc: "no out-of-order returns"},
@@ -325,6 +378,11 @@ func trace(w io.Writer) error {
 	for _, ep := range env.Episodes(steps) {
 		a, _ := lat.Phi(ep.C)
 		fmt.Fprintf(w, "  steps %2d..%2d  %-8s → %s\n", ep.From, ep.To, u.Format(ep.C), a.Name())
+	}
+	if *tracePath != "" {
+		rec := obs.NewRecorder()
+		env.RecordEpisodes(rec, u, lat, steps)
+		return writeObsFiles("", *tracePath, nil, rec)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -159,6 +161,92 @@ func TestTraceCommand(t *testing.T) {
 	for _, want := range []string{"crash(S2)", "✗", "episodes:", "SSqueue_2_1", "repair"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("trace output missing %q", want)
+		}
+	}
+}
+
+// TestRunObservabilityFiles pins the byte-determinism the -metrics and
+// -trace flags promise: two runs at the same seed produce identical
+// files, serial or parallel.
+func TestRunObservabilityFiles(t *testing.T) {
+	dir := t.TempDir()
+	render := func(name string, parallel bool) (string, string) {
+		t.Helper()
+		m := filepath.Join(dir, name+".json")
+		j := filepath.Join(dir, name+".jsonl")
+		args := []string{"run", "-trials", "2000", "-maxlen", "4", "-metrics", m, "-trace", j}
+		if parallel {
+			args = append(args, "-parallel", "-workers", "4")
+		}
+		args = append(args, "all")
+		if _, err := runCmd(t, args...); err != nil {
+			t.Fatalf("run %s: %v", name, err)
+		}
+		mb, err := os.ReadFile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := os.ReadFile(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(mb), string(jb)
+	}
+	m1, j1 := render("serial1", false)
+	m2, j2 := render("serial2", false)
+	mp, jp := render("parallel", true)
+	if m1 != m2 || m1 != mp {
+		t.Errorf("metrics snapshots differ across runs/modes")
+	}
+	if j1 != j2 || j1 != jp {
+		t.Errorf("event journals differ across runs/modes")
+	}
+	// The snapshot carries the engine, cluster, and txn layers (the
+	// quorum layer's cache metrics are runtime-only by design).
+	for _, want := range []string{"engine.expand.updates", "cluster.execute.attempt.", "txn.deq"} {
+		if !strings.Contains(m1, want) {
+			t.Errorf("metrics snapshot missing %q", want)
+		}
+	}
+	// The journal carries experiment markers and degradation episodes.
+	for _, want := range []string{`"name":"experiment"`, `"name":"cluster.episode"`} {
+		if !strings.Contains(j1, want) {
+			t.Errorf("journal missing %q", want)
+		}
+	}
+}
+
+// TestRunSingleExperimentMetrics covers the non-"all" path of the
+// observability flags.
+func TestRunSingleExperimentMetrics(t *testing.T) {
+	dir := t.TempDir()
+	m := filepath.Join(dir, "m.json")
+	if _, err := runCmd(t, "run", "-trials", "2000", "-metrics", m, "e14"); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "txn.deq") {
+		t.Errorf("E14 metrics missing txn counters:\n%.200s", data)
+	}
+}
+
+// TestTraceCommandJournal covers the trace subcommand's -trace flag.
+func TestTraceCommandJournal(t *testing.T) {
+	dir := t.TempDir()
+	j := filepath.Join(dir, "t.jsonl")
+	if _, err := runCmd(t, "trace", "-trace", j); err != nil {
+		t.Fatalf("trace -trace: %v", err)
+	}
+	data, err := os.ReadFile(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"env.episode"`, "SSqueue_2_1"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("episode journal missing %q:\n%s", want, data)
 		}
 	}
 }

@@ -11,14 +11,19 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"sync"
 	"time"
 
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/sim"
 	"relaxlattice/internal/specs"
 	"relaxlattice/internal/txn"
@@ -32,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1987, "random seed (abort decisions)")
 	pAbort := flag.Float64("pabort", 0.1, "probability a printer transaction aborts (paper jam)")
 	hold := flag.Duration("hold", 2*time.Millisecond, "printing time between dequeue and commit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof and expvar txn metrics on this address")
 	flag.Parse()
 
 	strategy, ok := map[string]txn.Strategy{
@@ -43,15 +49,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "spoolsim: unknown strategy %q\n", *strategyName)
 		os.Exit(1)
 	}
-	if err := run(os.Stdout, strategy, *printers, *jobs, *seed, *pAbort, *hold); err != nil {
+	reg := obs.NewRegistry()
+	if *pprofAddr != "" {
+		if err := startPprof(*pprofAddr, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "spoolsim:", err)
+			os.Exit(1)
+		}
+	}
+	if err := run(os.Stdout, reg, strategy, *printers, *jobs, *seed, *pAbort, *hold); err != nil {
 		fmt.Fprintln(os.Stderr, "spoolsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, strategy txn.Strategy, printers, jobs int, seed int64, pAbort float64, hold time.Duration) error {
+// startPprof serves net/http/pprof and expvar on addr, publishing the
+// simulation's txn metrics live at /debug/vars under "spoolsim".
+func startPprof(addr string, reg *obs.Registry) error {
+	expvar.Publish("spoolsim", expvar.Func(func() any { return reg.Snapshot() }))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listen: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof and expvar on http://%s/debug/pprof (txn metrics at /debug/vars)\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "spoolsim: pprof server:", err)
+		}
+	}()
+	return nil
+}
+
+func run(w io.Writer, reg *obs.Registry, strategy txn.Strategy, printers, jobs int, seed int64, pAbort float64, hold time.Duration) error {
 	fmt.Fprintf(w, "print spooler: strategy=%s printers=%d jobs=%d\n", strategy, printers, jobs)
 	cq := txn.NewConcurrentQueue(strategy)
+	cq.Observe(reg, nil)
 
 	// Clients spool jobs, each in its own transaction.
 	for j := 1; j <= jobs; j++ {
@@ -137,6 +168,15 @@ func run(w io.Writer, strategy txn.Strategy, printers, jobs int, seed int64, pAb
 		txn.Pessimistic: fmt.Sprintf("pessimistic lands on Stuttering_%d", k),
 	}
 	fmt.Fprintln(w, "\nprediction:", want[strategy])
+
+	fmt.Fprintln(w, "\ntxn runtime counters:")
+	snap := reg.Snapshot()
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "  %-28s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "  %-28s %d\n", g.Name, g.Value)
+	}
 	return nil
 }
 

@@ -6,13 +6,14 @@ import (
 	"testing"
 	"time"
 
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/txn"
 )
 
 func TestSpoolsimStrategies(t *testing.T) {
 	for _, strategy := range []txn.Strategy{txn.Blocking, txn.Optimistic, txn.Pessimistic} {
 		var buf bytes.Buffer
-		if err := run(&buf, strategy, 3, 9, 1987, 0.1, time.Millisecond); err != nil {
+		if err := run(&buf, obs.NewRegistry(), strategy, 3, 9, 1987, 0.1, time.Millisecond); err != nil {
 			t.Fatalf("%v: %v", strategy, err)
 		}
 		out := buf.String()
@@ -36,7 +37,7 @@ func TestSpoolsimStrategies(t *testing.T) {
 
 func TestSpoolsimBlockingIsFIFO(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, txn.Blocking, 4, 12, 3, 0.0, time.Millisecond); err != nil {
+	if err := run(&buf, obs.NewRegistry(), txn.Blocking, 4, 12, 3, 0.0, time.Millisecond); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()

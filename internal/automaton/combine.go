@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/value"
 )
 
@@ -25,15 +26,22 @@ func (p PairState) String() string { return "(" + p.A.String() + ", " + p.B.Stri
 // nodes. Step results are deterministic and immutable, so caching them
 // behind a lock preserves determinism while staying safe for the
 // engine's concurrent Step calls.
+//
+// Hit/miss counts go to the *runtime* registry only: two workers can
+// both miss on the same key and compute it twice, so the split is
+// scheduling-dependent even though the cached values never are.
 type stepCache struct {
 	mu sync.RWMutex
 	// steps memoizes Step results by state key and operation;
 	// guarded by mu.
-	steps map[string][]value.Value
+	steps        map[string][]value.Value
+	hits, misses *obs.Counter // runtime-only; nil when unobserved
 }
 
 func newStepCache() *stepCache {
-	return &stepCache{steps: make(map[string][]value.Value)}
+	c := &stepCache{steps: make(map[string][]value.Value)}
+	c.hits, c.misses = stepCacheCounters()
+	return c
 }
 
 // lookup returns the cached successors for (s, op), if present.
@@ -41,6 +49,11 @@ func (c *stepCache) lookup(key string) ([]value.Value, bool) {
 	c.mu.RLock()
 	v, ok := c.steps[key]
 	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return v, ok
 }
 

@@ -159,6 +159,7 @@ func expandChunks(a, b Automaton, frontier []langClass, alphabet []history.Op) [
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	observeShards(parts)
 	total := 0
 	for _, p := range parts {
 		total += len(p)
@@ -188,6 +189,7 @@ func expandClasses(a, b Automaton, frontier []langClass, alphabet []history.Op) 
 		index[u.key] = len(next)
 		next = append(next, langClass{statesA: u.statesA, statesB: u.statesB, mult: u.mult, rep: rep})
 	}
+	observeExpand(len(updates), len(next))
 	return next
 }
 

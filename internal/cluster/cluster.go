@@ -15,10 +15,13 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"relaxlattice/internal/automaton"
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/quorum"
 	"relaxlattice/internal/value"
 )
@@ -56,6 +59,19 @@ type Config struct {
 	Fold *quorum.FoldEval
 	// Respond chooses responses from views.
 	Respond Responder
+	// Metrics, when set, receives quorum attempt/failure counters,
+	// fault-injection counters, and reachability histograms. All updates
+	// are commutative, so snapshots are deterministic regardless of
+	// client scheduling.
+	Metrics *obs.Registry
+	// Trace, when set, receives degradation-episode events: one event
+	// each time the cluster's (mode, constraint set) pair changes, i.e.
+	// each time the system moves in the relaxation lattice.
+	Trace *obs.Recorder
+	// Clock supplies logical time for trace events. Nil defaults to a
+	// cluster-owned Lamport clock that witnesses every log timestamp and
+	// ticks once per recorded transition.
+	Clock obs.Clock
 }
 
 // Cluster is the simulated replicated object.
@@ -69,6 +85,7 @@ type Cluster struct {
 	comp     []int            // guarded by mu; network component per site; equal = mutually reachable
 	observed history.History  // guarded by mu
 	nextID   int              // guarded by mu
+	ltime    obs.Logical      // default trace clock; ticked only under mu
 }
 
 // New builds a cluster with all sites up and fully connected. It
@@ -107,6 +124,7 @@ func (c *Cluster) Crash(site int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.up[site] = false
+	c.recordFault("crash", obs.KV{K: "site", V: strconv.Itoa(site)})
 }
 
 // Restore brings a crashed site back with its log intact.
@@ -114,6 +132,7 @@ func (c *Cluster) Restore(site int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.up[site] = true
+	c.recordFault("restore", obs.KV{K: "site", V: strconv.Itoa(site)})
 }
 
 // Partition splits the network into the given groups of sites; sites
@@ -130,6 +149,15 @@ func (c *Cluster) Partition(groups ...[]int) {
 			c.comp[s] = g + 1
 		}
 	}
+	parts := make([]string, len(groups))
+	for i, group := range groups {
+		elems := make([]string, len(group))
+		for j, s := range group {
+			elems[j] = strconv.Itoa(s)
+		}
+		parts[i] = "{" + strings.Join(elems, ",") + "}"
+	}
+	c.recordFault("partition", obs.KV{K: "groups", V: strings.Join(parts, " ")})
 }
 
 // Heal reconnects the whole network.
@@ -139,6 +167,7 @@ func (c *Cluster) Heal() {
 	for i := range c.comp {
 		c.comp[i] = 0
 	}
+	c.recordFault("heal")
 }
 
 // UpSites returns how many sites are currently up.
@@ -188,6 +217,7 @@ func (c *Cluster) Gossip() {
 		merged[i] = quorum.Merge(logs...)
 	}
 	c.logs = merged
+	c.cfg.Metrics.Counter("cluster.gossip").Add(1)
 }
 
 // PropagateFrom pushes one site's log to its reachable peers.
@@ -235,6 +265,10 @@ type Client struct {
 	c     *Cluster
 	clock *quorum.Clock
 	home  int
+	id    int // globally unique client identifier (for trace events)
+	// lastEpisode is the client's current (behavior, constraint set)
+	// pair; read and written only under the cluster's mu.
+	lastEpisode string
 	// Degrade enables graceful degradation: when the preferred quorum
 	// is unavailable the client proceeds with every reachable site
 	// (Section 3.3, "permitting the dispatchers and drivers to enqueue
@@ -256,6 +290,7 @@ func (c *Cluster) Client(home int) *Client {
 		c:     c,
 		clock: quorum.NewClock(len(c.logs) + c.nextID),
 		home:  home,
+		id:    c.nextID,
 	}
 }
 
@@ -270,13 +305,26 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 	if !c.up[cl.home] {
 		reachable = nil // a client whose site is down reaches nothing
 	}
+	metrics := c.cfg.Metrics
+	metrics.Counter("cluster.execute.attempt." + inv.Name).Add(1)
+	metrics.Histogram("cluster.reachable", reachableBounds).Observe(int64(len(reachable)))
 	quorumOK := hasQuorum(c.cfg.Quorums, inv.Name, reachable, len(c.logs))
 	if !quorumOK && !cl.Degrade {
+		metrics.Counter("cluster.execute.unavailable." + inv.Name).Add(1)
+		c.observeEpisode(cl, inv.Name, reachable, behaviorReject)
 		return history.Op{}, fmt.Errorf("%w: op %s reaches %d site(s)", ErrUnavailable, inv.Name, len(reachable))
 	}
 	if len(reachable) == 0 {
+		metrics.Counter("cluster.execute.unavailable." + inv.Name).Add(1)
+		c.observeEpisode(cl, inv.Name, reachable, behaviorReject)
 		return history.Op{}, fmt.Errorf("%w: op %s reaches no sites", ErrUnavailable, inv.Name)
 	}
+	behavior := behaviorQuorum
+	if !quorumOK {
+		behavior = behaviorDegraded
+		metrics.Counter("cluster.execute.degraded." + inv.Name).Add(1)
+	}
+	c.observeEpisode(cl, inv.Name, reachable, behavior)
 
 	// Step 1: merge the logs from an initial quorum into a view. (All
 	// reachable sites participate; any superset of an initial quorum is
@@ -295,9 +343,11 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 	// Step 2: choose a response consistent with the view.
 	op, ok := c.cfg.Respond(s, inv)
 	if !ok {
+		metrics.Counter("cluster.execute.noresponse." + inv.Name).Add(1)
 		return history.Op{}, fmt.Errorf("%w: %s on view %s", ErrNoResponse, inv, s)
 	}
 	if !c.cfg.Base.PreHolds(s, op) {
+		metrics.Counter("cluster.execute.noresponse." + inv.Name).Add(1)
 		return history.Op{}, fmt.Errorf("%w: precondition of %s fails on view %s", ErrNoResponse, op, s)
 	}
 
@@ -314,6 +364,7 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 	// Grown in place: Observed copies on read, and only Execute (under
 	// mu) appends, so amortized growth never aliases a caller's snapshot.
 	c.observed = append(c.observed, op)
+	metrics.Counter("cluster.execute.ok." + inv.Name).Add(1)
 	return op, nil
 }
 

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"relaxlattice/internal/obs"
+)
+
+// This file is the cluster's degradation-episode reporter: the piece
+// that makes the relaxation lattice observable at runtime. Every
+// client tracks the (behavior, constraint set) pair it last ran under;
+// whenever an Execute sees a different pair — a site crashed out of
+// the quorum, a partition healed, degradation kicked in — one
+// "cluster.episode" event is recorded. The constraint set C is the set
+// of operations whose quorums are currently reachable (evaluated over
+// Assignment.Ops), and the behavior is φ(C): preferred-quorum service,
+// the all-reachable fallback of Section 3.3, or outright rejection.
+//
+// All observation here happens under c.mu, at deterministic points of
+// a deterministic protocol, so at a fixed fault schedule the journal
+// is byte-stable.
+
+// Behavior labels for episode events.
+const (
+	behaviorQuorum   = "preferred-quorum" // quorum available, normal protocol
+	behaviorDegraded = "all-reachable"    // degraded: proceed with every reachable site
+	behaviorReject   = "reject"           // no quorum and degradation disabled
+)
+
+// reachableBounds buckets the per-execute reachable-site counts.
+var reachableBounds = []int64{0, 1, 2, 3, 4, 6, 8, 16, 32}
+
+// now returns the next logical timestamp for a trace event. Caller
+// holds mu (the default clock is a plain logical counter ticked only
+// here, and per-client episode state is mu-protected too).
+func (c *Cluster) now() int64 {
+	if c.cfg.Clock != nil {
+		return c.cfg.Clock.Now()
+	}
+	return c.ltime.Tick()
+}
+
+// constraintSet renders the currently satisfiable constraint set C:
+// the sorted operation names whose quorums the reachable sites can
+// assemble. An empty set renders as "∅".
+//
+//lint:ignore lock-guard caller holds mu (every call site is under Lock)
+func (c *Cluster) constraintSet(reachable []int) string {
+	alive := make([]bool, len(c.logs))
+	for _, s := range reachable {
+		alive[s] = true
+	}
+	ops := c.cfg.Quorums.Ops()
+	avail := make([]string, 0, len(ops))
+	for _, op := range ops {
+		if c.cfg.Quorums.HasQuorum(op, alive) {
+			avail = append(avail, op)
+		}
+	}
+	sort.Strings(avail)
+	if len(avail) == 0 {
+		return "∅"
+	}
+	return strings.Join(avail, ",")
+}
+
+// observeEpisode records a degradation-episode transition if the
+// client's (behavior, constraint set) pair changed. Caller holds mu.
+func (c *Cluster) observeEpisode(cl *Client, opName string, reachable []int, behavior string) {
+	if c.cfg.Trace == nil {
+		return
+	}
+	cset := c.constraintSet(reachable)
+	key := behavior + "|" + cset
+	if cl.lastEpisode == key {
+		return
+	}
+	cl.lastEpisode = key
+	c.cfg.Trace.Record(c.now(), "cluster.episode",
+		obs.KV{K: "client", V: strconv.Itoa(cl.id)},
+		obs.KV{K: "home", V: strconv.Itoa(cl.home)},
+		obs.KV{K: "constraints", V: cset},
+		obs.KV{K: "behavior", V: behavior},
+		obs.KV{K: "op", V: opName},
+		obs.KV{K: "reachable", V: strconv.Itoa(len(reachable))},
+	)
+}
+
+// recordFault records one fault/topology event and bumps its counter.
+// Caller holds mu.
+func (c *Cluster) recordFault(name string, attrs ...obs.KV) {
+	c.cfg.Metrics.Counter("cluster.fault." + name).Add(1)
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Record(c.now(), "cluster."+name, attrs...)
+	}
+}

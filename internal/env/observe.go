@@ -1,0 +1,33 @@
+package env
+
+import (
+	"strconv"
+
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/obs"
+)
+
+// RecordEpisodes journals the degradation episodes of a trace: one
+// "env.episode" event per maximal run of steps sharing a constraint
+// state, stamped with the episode's starting step index as logical
+// time. Each event carries the constraint set (rendered through the
+// universe), the behavior selected for it by the relaxation, and the
+// episode's step span — the journal form of the story FormatTrace
+// tells visually. A nil recorder no-ops.
+func RecordEpisodes(rec *obs.Recorder, u *lattice.Universe, r *lattice.Relaxation, trace []TraceStep) {
+	if rec == nil {
+		return
+	}
+	for _, ep := range Episodes(trace) {
+		behavior := "(none)"
+		if b, ok := r.Phi(ep.C); ok {
+			behavior = b.Name()
+		}
+		rec.Record(int64(ep.From), "env.episode",
+			obs.KV{K: "constraints", V: u.Format(ep.C)},
+			obs.KV{K: "behavior", V: behavior},
+			obs.KV{K: "from", V: strconv.Itoa(ep.From)},
+			obs.KV{K: "to", V: strconv.Itoa(ep.To)},
+		)
+	}
+}

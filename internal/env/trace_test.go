@@ -1,11 +1,13 @@
 package env
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/obs"
 )
 
 func TestTraceRecordsDegradationEpisode(t *testing.T) {
@@ -95,6 +97,43 @@ func TestEpisodesEmpty(t *testing.T) {
 	if got := Episodes(nil); got != nil {
 		t.Errorf("Episodes(nil) = %v", got)
 	}
+}
+
+// TestRecordEpisodes pins the journal form of a degradation story: one
+// env.episode event per constraint run, stamped with the starting step
+// index, carrying φ(C)'s behavior name — and pins the exact JSONL
+// bytes, which must not drift (CI diffs them across runs).
+func TestRecordEpisodes(t *testing.T) {
+	u := ssqUniverse()
+	e, crash, _, repair := crashEnv(u)
+	lat := ssqLattice(u)
+	cm := &Combined{Env: e, Lat: lat}
+	enq := func(x int) Input { h := history.Enq(x); return Input{Op: &h} }
+	deq := func(x int) Input { h := history.DeqOk(x); return Input{Op: &h} }
+	trace := cm.Trace([]Input{
+		enq(1), deq(1),
+		EventInput(crash),
+		enq(2), deq(2), deq(2),
+		EventInput(repair),
+		enq(3),
+	})
+
+	rec := obs.NewRecorder()
+	RecordEpisodes(rec, u, lat, trace)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":0,"name":"env.episode","constraints":"{J, K}","behavior":"SSqueue_1_1","from":"0","to":"1"}
+{"t":2,"name":"env.episode","constraints":"{K}","behavior":"SSqueue_2_1","from":"2","to":"5"}
+{"t":6,"name":"env.episode","constraints":"{J, K}","behavior":"SSqueue_1_1","from":"6","to":"7"}
+`
+	if buf.String() != want {
+		t.Errorf("episode journal:\n%swant:\n%s", buf.String(), want)
+	}
+
+	// A nil recorder is a no-op, not a panic.
+	RecordEpisodes(nil, u, lat, trace)
 }
 
 func TestTraceStepDescribe(t *testing.T) {

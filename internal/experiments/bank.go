@@ -7,6 +7,7 @@ import (
 	"relaxlattice/internal/automaton"
 	"relaxlattice/internal/cluster"
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/quorum"
 	"relaxlattice/internal/sim"
 	"relaxlattice/internal/specs"
@@ -23,8 +24,11 @@ func init() {
 
 // bankCluster builds the ATM cluster of Section 3.4: credits complete
 // at a single site (their final quorum grows asynchronously); debits
-// need initial and final quorums of debitQuorum sites.
-func bankCluster(cfg Config, debitQuorum int) *cluster.Cluster {
+// need initial and final quorums of debitQuorum sites. Quorum and
+// fault counters always land in cfg.Metrics (commutative, so the
+// Monte-Carlo sweeps stay deterministic); episode journaling is opt-in
+// per call site because the sweeps would flood it.
+func bankCluster(cfg Config, debitQuorum int, trace *obs.Recorder) *cluster.Cluster {
 	votes := quorum.NewVoting(onesWeights(cfg.Sites), map[string]quorum.OpQuorums{
 		history.NameCredit: {Initial: 1, Final: 1},
 		history.NameDebit:  {Initial: debitQuorum, Final: debitQuorum},
@@ -35,6 +39,8 @@ func bankCluster(cfg Config, debitQuorum int) *cluster.Cluster {
 		Base:    specs.BankAccount(),
 		Fold:    quorum.AccountFold(),
 		Respond: cluster.AccountResponder,
+		Metrics: cfg.Metrics,
+		Trace:   trace,
 	})
 }
 
@@ -71,7 +77,7 @@ func bankRun(cfg Config, seed int64, meanDelay float64, keepA2 bool) (spuriousRa
 	if !keepA2 {
 		debitQuorum = 1
 	}
-	c := bankCluster(cfg, debitQuorum)
+	c := bankCluster(cfg, debitQuorum, nil)
 	g := sim.NewRNG(seed)
 	var engine sim.Engine
 	var spurious, debits, balance int
@@ -187,7 +193,7 @@ func runBank(w io.Writer, cfg Config) error {
 // the observed history against the lattice's degraded behavior
 // automaton.
 func bankHistoriesInSpurious(cfg Config, seed int64) bool {
-	c := bankCluster(cfg, cfg.Sites/2+1)
+	c := bankCluster(cfg, cfg.Sites/2+1, cfg.Trace)
 	g := sim.NewRNG(seed)
 	for i := 0; i < 40; i++ {
 		site := g.Intn(cfg.Sites)

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"relaxlattice/internal/core"
+	"relaxlattice/internal/obs"
 )
 
 // Config parameterizes experiment runs. The zero value is not useful;
@@ -29,6 +30,15 @@ type Config struct {
 	Trials int
 	// Sites is the replica count for cluster simulations.
 	Sites int
+	// Metrics, when set, collects the observability counters of every
+	// substrate an experiment touches (cluster, txn runtime). The runner
+	// hands each experiment a scratch registry and absorbs them in ID
+	// order, so the final snapshot is identical for serial and parallel
+	// runs at any worker count.
+	Metrics *obs.Registry
+	// Trace, when set, receives each experiment's event journal,
+	// appended strictly in ID order behind an "experiment" marker event.
+	Trace *obs.Recorder
 }
 
 // Default returns the configuration used for EXPERIMENTS.md. The
@@ -114,16 +124,47 @@ func RunAllParallel(w io.Writer, cfg Config, workers int) error {
 // expResult is one experiment's buffered output. done is closed when
 // buf and err are final.
 type expResult struct {
-	buf  bytes.Buffer
-	err  error
-	done chan struct{}
+	buf     bytes.Buffer
+	err     error
+	scratch Config // per-experiment observation sinks
+	done    chan struct{}
+}
+
+// scratchConfig gives one experiment its own observation sinks (when
+// the parent has any), so concurrent experiments never interleave
+// journals. The scratch sinks are merged back by absorbScratch.
+func scratchConfig(cfg Config) Config {
+	scratch := cfg
+	if cfg.Metrics != nil {
+		scratch.Metrics = obs.NewRegistry()
+	}
+	if cfg.Trace != nil {
+		scratch.Trace = obs.NewRecorder()
+	}
+	return scratch
+}
+
+// absorbScratch merges one experiment's scratch sinks into the parent
+// config. Called strictly in ID order (serial and parallel alike), so
+// metric totals and journal bytes are identical at any worker count.
+func absorbScratch(cfg, scratch Config, idx int, e Experiment) {
+	if cfg.Metrics != nil {
+		cfg.Metrics.Absorb(scratch.Metrics)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Record(int64(idx), "experiment", obs.KV{K: "id", V: e.ID})
+		cfg.Trace.Append(scratch.Trace)
+	}
 }
 
 func runList(w io.Writer, cfg Config, exps []Experiment, workers int) error {
 	if workers <= 1 {
-		for _, e := range exps {
+		for i, e := range exps {
 			fmt.Fprintf(w, "== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
-			if err := runExperiment(w, cfg, e); err != nil {
+			scratch := scratchConfig(cfg)
+			err := runExperiment(w, scratch, e)
+			absorbScratch(cfg, scratch, i, e)
+			if err != nil {
 				return fmt.Errorf("experiments: %s: %w", e.ID, err)
 			}
 			fmt.Fprintln(w)
@@ -136,12 +177,13 @@ func runList(w io.Writer, cfg Config, exps []Experiment, workers int) error {
 	}
 	sem := make(chan struct{}, workers)
 	for i, e := range exps {
+		results[i].scratch = scratchConfig(cfg)
 		go func(r *expResult, e Experiment) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			defer close(r.done)
 			fmt.Fprintf(&r.buf, "== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
-			r.err = runExperiment(&r.buf, cfg, e)
+			r.err = runExperiment(&r.buf, r.scratch, e)
 			if r.err == nil {
 				fmt.Fprintln(&r.buf)
 			}
@@ -153,6 +195,9 @@ func runList(w io.Writer, cfg Config, exps []Experiment, workers int) error {
 		if _, err := w.Write(r.buf.Bytes()); err != nil {
 			return err
 		}
+		// Merge before the error check: the failing experiment's metrics
+		// are part of its partial output, exactly as in a serial run.
+		absorbScratch(cfg, r.scratch, i, e)
 		if r.err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.ID, r.err)
 		}

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"relaxlattice/internal/core"
+	"relaxlattice/internal/obs"
 )
 
 // fastConfig keeps experiment tests quick; the full configuration runs
@@ -101,6 +102,58 @@ func TestParallelMatchesSerial(t *testing.T) {
 		}
 		if par.String() != serial.String() {
 			t.Fatalf("parallel output differs from serial (run %d)", run)
+		}
+	}
+}
+
+// The observability sinks must obey the same contract as the output
+// stream: the metrics snapshot and the event journal are byte-identical
+// between serial and parallel runs at any worker count, because scratch
+// sinks are absorbed strictly in ID order.
+func TestObservabilityDeterministicAcrossWorkers(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Trials = 5000
+	cfg.Bound.MaxLen = 4
+
+	render := func(workers int) (string, string) {
+		t.Helper()
+		c := cfg
+		c.Metrics = obs.NewRegistry()
+		c.Trace = obs.NewRecorder()
+		var out bytes.Buffer
+		var err error
+		if workers <= 1 {
+			err = RunAll(&out, c)
+		} else {
+			err = RunAllParallel(&out, c, workers)
+		}
+		if err != nil {
+			t.Fatalf("run (workers=%d): %v", workers, err)
+		}
+		var m, j bytes.Buffer
+		if err := c.Metrics.Snapshot().WriteJSON(&m); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Trace.WriteJSONL(&j); err != nil {
+			t.Fatal(err)
+		}
+		return m.String(), j.String()
+	}
+
+	serialM, serialJ := render(1)
+	if serialM == "" || serialJ == "" {
+		t.Fatal("serial run produced empty observability output")
+	}
+	if !strings.Contains(serialJ, `"name":"experiment","id":"E01"`) {
+		t.Errorf("journal missing experiment markers:\n%.200s", serialJ)
+	}
+	for _, workers := range []int{2, 8} {
+		m, j := render(workers)
+		if m != serialM {
+			t.Errorf("metrics snapshot differs at workers=%d", workers)
+		}
+		if j != serialJ {
+			t.Errorf("event journal differs at workers=%d", workers)
 		}
 	}
 }

@@ -55,7 +55,7 @@ func runSemiqueue(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "\noptimistic spooler runs vs Atomic(Semiqueue_k):")
 	rt := sim.NewTable("concurrent dequeuers k", "schedule ∈ L(Atomic(Semiqueue_k))", "∈ L(Atomic(Semiqueue_k-1))")
 	for k := 1; k <= 4; k++ {
-		s, observed := spoolCollision(txn.Optimistic, k)
+		s, observed := spoolCollision(cfg, txn.Optimistic, k)
 		if observed != k {
 			return fmt.Errorf("expected %d concurrent dequeuers, observed %d", k, observed)
 		}
@@ -72,9 +72,11 @@ func runSemiqueue(w io.Writer, cfg Config) error {
 }
 
 // spoolCollision produces a maximal collision: k dequeuers take k
-// distinct items concurrently, then commit in reverse order.
-func spoolCollision(strategy txn.Strategy, k int) (txn.Schedule, int) {
+// distinct items concurrently, then commit in reverse order. The fixed
+// call sequence makes both the metrics and the journal deterministic.
+func spoolCollision(cfg Config, strategy txn.Strategy, k int) (txn.Schedule, int) {
 	q := txn.NewQueue(strategy)
+	q.Observe(cfg.Metrics, cfg.Trace)
 	for i := 1; i <= k+1; i++ {
 		t := q.Begin()
 		mustOK(q.Enq(t, value.Elem(i)))
@@ -97,7 +99,7 @@ func runStuttering(w io.Writer, cfg Config) error {
 	fmt.Fprintln(w, "pessimistic spooler runs vs Atomic(Stuttering_j):")
 	t := sim.NewTable("concurrent dequeuers j", "schedule ∈ L(Atomic(Stuttering_j))", "∈ L(Atomic(Stuttering_j-1))")
 	for j := 1; j <= 4; j++ {
-		s, observed := spoolCollision(txn.Pessimistic, j)
+		s, observed := spoolCollision(cfg, txn.Pessimistic, j)
 		if observed != j {
 			return fmt.Errorf("expected %d concurrent dequeuers, observed %d", j, observed)
 		}
@@ -148,7 +150,7 @@ func runThroughput(w io.Writer, cfg Config) error {
 	for _, k := range []int{1, 2, 4, 8} {
 		row := []interface{}{k}
 		for _, strategy := range []txn.Strategy{txn.Blocking, txn.Optimistic, txn.Pessimistic} {
-			row = append(row, spoolThroughput(strategy, k, 50))
+			row = append(row, spoolThroughput(cfg, strategy, k, 50))
 		}
 		t.AddRow(row...)
 	}
@@ -160,8 +162,10 @@ func runThroughput(w io.Writer, cfg Config) error {
 // spoolThroughput runs rounds of k concurrent dequeuing transactions;
 // each transaction holds its item for the whole round (printing) and
 // commits at the round's end. Returns completed dequeues per round.
-func spoolThroughput(strategy txn.Strategy, k, rounds int) float64 {
+// Metrics only — journaling thousands of rounds would drown the trace.
+func spoolThroughput(cfg Config, strategy txn.Strategy, k, rounds int) float64 {
 	q := txn.NewQueue(strategy)
+	q.Observe(cfg.Metrics, nil)
 	feeder := q.Begin()
 	next := 1
 	refill := func(n int) {

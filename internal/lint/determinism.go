@@ -39,12 +39,21 @@ func checkDeterminism(p *Package, cfg Config, report reportFunc) {
 		return
 	}
 	for _, f := range p.Files {
+		// A SelectorExpr in call position (time.Now()) and one captured
+		// as a value (clock := time.Now) both smuggle nondeterminism into
+		// the model layer; the value form additionally defeats any purely
+		// call-based check, so both are covered here. The sanctioned
+		// alternative for time is an injected obs.Clock (a Lamport tick,
+		// a schedule index — see internal/obs/clock.go).
+		callFuns := map[ast.Expr]bool{}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+			if call, ok := n.(*ast.CallExpr); ok {
+				callFuns[call.Fun] = true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
 				return true
 			}
@@ -56,16 +65,32 @@ func checkDeterminism(p *Package, cfg Config, report reportFunc) {
 			if !ok {
 				return true
 			}
+			if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); !isFunc {
+				return true // type or var reference, not a function
+			}
+			called := callFuns[sel]
 			switch pn.Imported().Path() {
 			case "time":
-				if wallClockFuncs[sel.Sel.Name] {
-					report(call.Pos(), "det-time", fmt.Sprintf(
+				if !wallClockFuncs[sel.Sel.Name] {
+					return true
+				}
+				if called {
+					report(sel.Pos(), "det-time", fmt.Sprintf(
 						"time.%s reads the wall clock; model-layer code must take time as an input", sel.Sel.Name))
+				} else {
+					report(sel.Pos(), "det-time", fmt.Sprintf(
+						"time.%s captured as a function value still reads the wall clock; inject an obs.Clock instead", sel.Sel.Name))
 				}
 			case "math/rand", "math/rand/v2":
-				if !randConstructors[sel.Sel.Name] {
-					report(call.Pos(), "det-rand", fmt.Sprintf(
+				if randConstructors[sel.Sel.Name] {
+					return true
+				}
+				if called {
+					report(sel.Pos(), "det-rand", fmt.Sprintf(
 						"%s.%s draws from the global RNG; model-layer code must use an injected generator", id.Name, sel.Sel.Name))
+				} else {
+					report(sel.Pos(), "det-rand", fmt.Sprintf(
+						"%s.%s captured as a function value draws from the global RNG; inject a generator instead", id.Name, sel.Sel.Name))
 				}
 			}
 			return true

@@ -62,8 +62,10 @@ type Config struct {
 	SpecPaths []string
 }
 
-// DefaultConfig returns the repository's rule scoping: the six
-// model-layer packages and the specification catalog.
+// DefaultConfig returns the repository's rule scoping: the seven
+// model-layer packages (including the observability substrate, whose
+// logical-clock journal must itself stay wall-clock-free) and the
+// specification catalog.
 func DefaultConfig() Config {
 	return Config{
 		ModelPaths: []string{
@@ -73,6 +75,7 @@ func DefaultConfig() Config {
 			"internal/core",
 			"internal/history",
 			"internal/quorum",
+			"internal/obs",
 		},
 		SpecPaths: []string{"internal/specs"},
 	}

@@ -24,6 +24,9 @@ var golden = []string{
 	"internal/automaton/clock.go:19:9: [det-rand] rand.Intn draws from the global RNG; model-layer code must use an injected generator",
 	"internal/automaton/clock.go:33:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
 	"internal/automaton/clock.go:51:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
+	"internal/automaton/instrumented.go:27:9: [det-time] time.Now captured as a function value still reads the wall clock; inject an obs.Clock instead",
+	"internal/automaton/instrumented.go:34:9: [det-rand] rand.Int captured as a function value draws from the global RNG; inject a generator instead",
+	"internal/obs/obs.go:53:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
 	"internal/specs/impure.go:13:2: [spec-purity] spec package function writes package-level variable hits; specs must be pure",
 	"internal/specs/impure.go:14:2: [spec-purity] spec package function writes package-level variable registry; specs must be pure",
 	"locks/locks.go:21:19: [lock-guard] method Peek touches field(s) n of Counter guarded by mu without acquiring it",

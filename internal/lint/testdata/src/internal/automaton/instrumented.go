@@ -1,0 +1,35 @@
+package automaton
+
+import (
+	"math/rand"
+	"time"
+
+	"fixture/internal/obs"
+)
+
+// Engine is instrumented the sanctioned way: it records against an
+// injected logical clock and a registry of commutative counters.
+type Engine struct {
+	clock obs.Clock
+	reg   *obs.Registry
+}
+
+// Expand records a depth expansion at injected logical time: clean.
+func (e *Engine) Expand(classes int) int64 {
+	e.reg.Add("engine.expand.depths", 1)
+	e.reg.Add("engine.expand.classes", uint64(classes))
+	return e.clock.Now()
+}
+
+// WallClockEngine captures time.Now as a function value — the wall
+// clock smuggled past any call-site-only check: finding.
+func WallClockEngine(reg *obs.Registry) *Engine {
+	now := time.Now
+	return &Engine{clock: obs.ClockFunc(func() int64 { return now().UnixNano() }), reg: reg}
+}
+
+// GlobalRandTiebreak captures rand.Int as a function value — the
+// global RNG smuggled the same way: finding.
+func GlobalRandTiebreak() func() int {
+	return rand.Int
+}

@@ -1,0 +1,57 @@
+// Package obs is a model-layer fixture mirroring the real
+// observability substrate: registries snapshot by sorting after map
+// iteration (clean), and instrumented code takes logical time from an
+// injected clock instead of the wall clock.
+package obs
+
+import "sort"
+
+// Clock supplies injected logical time — the sanctioned alternative to
+// time.Now in model-layer packages.
+type Clock interface {
+	Now() int64
+}
+
+// ClockFunc adapts a function to Clock.
+type ClockFunc func() int64
+
+// Now implements Clock.
+func (f ClockFunc) Now() int64 { return f() }
+
+// Registry is a miniature metrics registry.
+type Registry struct {
+	counters map[string]uint64
+}
+
+// Add bumps a counter (single-goroutine fixture; no locking).
+func (r *Registry) Add(name string, n uint64) {
+	if r.counters == nil {
+		r.counters = map[string]uint64{}
+	}
+	r.counters[name] += n
+}
+
+// CounterValue is one snapshot entry.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot collects and sorts — the established idiom, clean.
+func (r *Registry) Snapshot() []CounterValue {
+	out := make([]CounterValue, 0, len(r.counters))
+	for name, v := range r.counters {
+		out = append(out, CounterValue{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RawSnapshot leaks map iteration order into the result: finding.
+func (r *Registry) RawSnapshot() []CounterValue {
+	var out []CounterValue
+	for name, v := range r.counters {
+		out = append(out, CounterValue{Name: name, Value: v})
+	}
+	return out
+}

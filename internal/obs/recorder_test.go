@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRecorderJSONL(t *testing.T) {
+	r := NewRecorder()
+	r.Record(1, "start", KV{K: "who", V: "T1"})
+	r.Record(2, "stop")
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":1,"name":"start","who":"T1"}
+{"t":2,"name":"stop"}
+`
+	if buf.String() != want {
+		t.Fatalf("JSONL:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestJSONStringEscaping(t *testing.T) {
+	cases := map[string]string{
+		`plain`:          `"plain"`,
+		"quote\"back":    `"quote\"back"`,
+		`back\slash`:     `"back\\slash"`,
+		"nl\ntab\t":      `"nl\ntab\t"`,
+		"cr\r":           `"cr\r"`,
+		"ctl\x01":        `"ctl\u0001"`,
+		"unicode ∅ φ(C)": `"unicode ∅ φ(C)"`,
+	}
+	for in, want := range cases {
+		if got := string(appendJSONString(nil, in)); got != want {
+			t.Errorf("appendJSONString(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestRecorderAppendOrder(t *testing.T) {
+	a, b, sink := NewRecorder(), NewRecorder(), NewRecorder()
+	a.Record(5, "a1")
+	a.Record(6, "a2")
+	b.Record(1, "b1")
+	sink.Append(a)
+	sink.Append(b)
+	evs := sink.Events()
+	if len(evs) != 3 || evs[0].Name != "a1" || evs[1].Name != "a2" || evs[2].Name != "b1" {
+		t.Fatalf("append order wrong: %v", evs)
+	}
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatalf("sources not drained: %d, %d", a.Len(), b.Len())
+	}
+}
+
+func TestRecorderSortStable(t *testing.T) {
+	r := NewRecorder()
+	r.Record(2, "late")
+	r.Record(1, "early-a")
+	r.Record(1, "early-b")
+	r.SortStable()
+	evs := r.Events()
+	if evs[0].Name != "early-a" || evs[1].Name != "early-b" || evs[2].Name != "late" {
+		t.Fatalf("sort order wrong: %v", evs)
+	}
+}
+
+func TestRecorderSpan(t *testing.T) {
+	r := NewRecorder()
+	r.Span(1, 9, "phase", KV{K: "id", V: "E01"})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Name != "phase.begin" || evs[0].T != 1 ||
+		evs[1].Name != "phase.end" || evs[1].T != 9 {
+		t.Fatalf("span events wrong: %v", evs)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, "x")
+	r.Span(1, 2, "y")
+	r.Append(NewRecorder())
+	NewRecorder().Append(r)
+	r.SortStable()
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder should be empty")
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: 3, Name: "cluster.episode", Attrs: []KV{{K: "behavior", V: "reject"}}}
+	if got := e.String(); got != "[3] cluster.episode behavior=reject" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestLogicalClock(t *testing.T) {
+	var l Logical
+	if l.Now() != 0 {
+		t.Fatal("zero value should read 0")
+	}
+	if l.Tick() != 1 || l.Tick() != 2 {
+		t.Fatal("Tick should advance by one")
+	}
+	l.Witness(10)
+	if l.Now() != 10 {
+		t.Fatalf("Witness should raise to 10, got %d", l.Now())
+	}
+	l.Witness(5) // lower: no-op
+	if l.Now() != 10 {
+		t.Fatalf("Witness must not lower the clock, got %d", l.Now())
+	}
+}

@@ -12,6 +12,10 @@ type Assignment interface {
 	// HasQuorum reports whether the alive sites contain both an initial
 	// and a final quorum for op.
 	HasQuorum(op string, alive []bool) bool
+	// Ops returns the operation names the assignment covers, sorted.
+	// The observability layer renders "the current constraint set" of a
+	// degradation episode by evaluating HasQuorum over exactly these.
+	Ops() []string
 	// Relation derives the quorum intersection relation realized: for
 	// every pair whose quorums are forced to intersect, inv(p) Q q.
 	Relation() Relation

@@ -113,6 +113,24 @@ func copyQuorums(m map[string][]SiteSet) map[string][]SiteSet {
 // Sites returns the site count.
 func (a *ExplicitAssignment) Sites() int { return a.sites }
 
+// Ops returns the operation names with declared quorums (initial or
+// final), sorted.
+func (a *ExplicitAssignment) Ops() []string {
+	names := map[string]bool{}
+	for op := range a.initials {
+		names[op] = true
+	}
+	for op := range a.finals {
+		names[op] = true
+	}
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Intersects reports whether every initial quorum for invOp intersects
 // every final quorum for finalOp — the condition defining
 // inv(invOp) Q finalOp (Section 3.1).

@@ -7,6 +7,7 @@ import (
 
 	"relaxlattice/internal/automaton"
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/value"
 )
 
@@ -127,6 +128,8 @@ type viewAutomaton struct {
 	q    *QCA
 	left []string // sorted distinct invocation names with outgoing Q-pairs
 
+	hits, misses *obs.Counter // runtime-only cache stats; nil when unobserved
+
 	mu   sync.Mutex
 	succ map[string][]value.Value // guarded by mu; (state key, op) → successor
 }
@@ -147,7 +150,9 @@ func (q *QCA) Compiled() automaton.Automaton {
 	if len(left) > maxLeftNames {
 		panic("quorum: relation has too many left names to compile")
 	}
-	return &viewAutomaton{q: q, left: left, succ: make(map[string][]value.Value)}
+	va := &viewAutomaton{q: q, left: left, succ: make(map[string][]value.Value)}
+	va.hits, va.misses = viewCacheCounters()
+	return va
 }
 
 // Name returns the underlying QCA's name.
@@ -221,8 +226,10 @@ func (va *viewAutomaton) Step(s value.Value, op history.Op) []value.Value {
 	succ, hit := va.succ[ck]
 	va.mu.Unlock()
 	if hit {
+		va.hits.Add(1)
 		return succ
 	}
+	va.misses.Add(1)
 	succ = va.step(vs, op)
 	va.mu.Lock()
 	va.succ[ck] = succ

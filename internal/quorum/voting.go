@@ -67,6 +67,16 @@ func Majority(n int, opNames ...string) *Voting {
 // Sites returns the number of sites.
 func (v *Voting) Sites() int { return len(v.weights) }
 
+// Ops returns the operation names with assigned thresholds, sorted.
+func (v *Voting) Ops() []string {
+	names := make([]string, 0, len(v.ops))
+	for n := range v.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // TotalWeight returns the sum of all vote weights.
 func (v *Voting) TotalWeight() int { return v.total }
 

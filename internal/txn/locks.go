@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"relaxlattice/internal/obs"
 )
 
 // Lock modes.
@@ -31,6 +33,7 @@ var ErrWouldBlock = errors.New("txn: lock unavailable")
 type LockManager struct {
 	holders map[string]map[ID]LockMode // resource → holder → mode
 	waits   map[ID]map[ID]bool         // wait-for graph: waiter → holders
+	reg     *obs.Registry              // optional; nil-safe (see Observe)
 }
 
 // NewLockManager returns an empty lock table.
@@ -72,6 +75,7 @@ func (lm *LockManager) TryAcquire(t ID, res string, mode LockMode) error {
 		}
 		lm.holders[res][t] = maxMode(lm.holders[res][t], mode)
 		delete(lm.waits, t)
+		lm.reg.Counter("txn.lock.acquire").Add(1)
 		return nil
 	}
 	// Record the wait and check for a cycle.
@@ -83,8 +87,10 @@ func (lm *LockManager) TryAcquire(t ID, res string, mode LockMode) error {
 	}
 	if lm.cycleFrom(t) {
 		delete(lm.waits, t)
+		lm.reg.Counter("txn.lock.deadlock").Add(1)
 		return fmt.Errorf("%w: T%d on %q", ErrDeadlock, int(t), res)
 	}
+	lm.reg.Counter("txn.lock.wait").Add(1)
 	return fmt.Errorf("%w: T%d on %q held by %v", ErrWouldBlock, int(t), res, conflicts)
 }
 
@@ -142,6 +148,7 @@ func (lm *LockManager) ReleaseAll(t ID) {
 	for _, waiters := range lm.waits {
 		delete(waiters, t)
 	}
+	lm.reg.Counter("txn.lock.release").Add(1)
 }
 
 // HeldBy returns the transactions holding res, sorted.

@@ -1,0 +1,67 @@
+package txn
+
+import (
+	"strconv"
+
+	"relaxlattice/internal/obs"
+)
+
+// Observability for the transactional runtime. Logical time for every
+// journal event is the schedule index — the serialization-relevant
+// clock of this layer: event T = n means "after the n-th scheduled
+// step". The Queue is a deterministic logical runtime (callers decide
+// scheduling), so a fixed call sequence yields a byte-stable journal;
+// ConcurrentQueue records under its own mutex, so its journal order is
+// the actual serialization order the lock admitted.
+
+// Observe attaches a metrics registry and event journal to the queue.
+// Either may be nil (that side is simply off). Counters:
+//
+//	txn.enq, txn.deq            successful operations
+//	txn.deq.blocked             Blocking-strategy head conflicts
+//	txn.deq.skipped             Optimistic skips past held items
+//	txn.deq.stutter             Pessimistic re-returns of held items
+//	txn.deq.empty               dequeues finding nothing visible
+//	txn.commit, txn.abort       transaction outcomes
+//
+// plus the gauge txn.concurrent_dequeuers.max (high-water C_k index).
+// Journal events txn.commit / txn.abort / txn.deq.blocked carry the
+// transaction and the schedule index at which serialization happened.
+func (q *Queue) Observe(reg *obs.Registry, rec *obs.Recorder) {
+	q.reg = reg
+	q.rec = rec
+}
+
+// count bumps a queue counter (no-op when unobserved).
+func (q *Queue) count(name string) {
+	q.reg.Counter(name).Add(1)
+}
+
+// event records a journal event at the current schedule index.
+func (q *Queue) event(name string, attrs ...obs.KV) {
+	if q.rec == nil {
+		return
+	}
+	q.rec.Record(int64(len(q.schedule)), name, attrs...)
+}
+
+func txnAttr(t ID) obs.KV {
+	return obs.KV{K: "txn", V: "T" + strconv.Itoa(int(t))}
+}
+
+// Observe attaches observation to the wrapped queue.
+func (cq *ConcurrentQueue) Observe(reg *obs.Registry, rec *obs.Recorder) {
+	cq.mu.Lock()
+	defer cq.mu.Unlock()
+	cq.q.Observe(reg, rec)
+}
+
+// Observe attaches a metrics registry to the lock table. Counters:
+//
+//	txn.lock.acquire     new or upgraded grants
+//	txn.lock.wait        conflicts that would block
+//	txn.lock.deadlock    grants refused to break a wait-for cycle
+//	txn.lock.release     ReleaseAll calls (strict 2PL release points)
+func (lm *LockManager) Observe(reg *obs.Registry) {
+	lm.reg = reg
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
 	"relaxlattice/internal/value"
 )
 
@@ -107,6 +108,8 @@ type Queue struct {
 	// active dequeuing transactions — the C_k position in the lattice of
 	// constraints (Section 4.2).
 	concurrentDeqHigh int
+	reg               *obs.Registry // optional; nil-safe (see Observe)
+	rec               *obs.Recorder // optional; nil-safe
 }
 
 // NewQueue builds an empty queue with the given strategy.
@@ -149,6 +152,7 @@ func (q *Queue) Enq(t ID, e value.Elem) error {
 	q.pending[t] = append(q.pending[t], &entry{elem: e})
 	q.schedule = q.schedule.Append(Step(t, history.Enq(int(e))))
 	q.bumpConcurrency()
+	q.count("txn.enq")
 	return nil
 }
 
@@ -171,18 +175,26 @@ func (q *Queue) Deq(t ID) (value.Elem, error) {
 		if en.tentativelyDequeued() {
 			switch q.strategy {
 			case Blocking:
+				q.count("txn.deq.blocked")
+				q.event("txn.deq.blocked", txnAttr(t),
+					obs.KV{K: "item", V: fmt.Sprint(en.elem)},
+					obs.KV{K: "holder", V: "T" + fmt.Sprint(int(en.deqBy[0]))})
 				return 0, fmt.Errorf("%w: item %v held by T%v", ErrBlocked, en.elem, en.deqBy[0])
 			case Optimistic:
+				q.count("txn.deq.skipped")
 				continue // assume the holder commits; skip
 			case Pessimistic:
 				// Assume the holder aborts; return the same item.
+				q.count("txn.deq.stutter")
 			}
 		}
 		en.deqBy = append(en.deqBy, t)
 		q.schedule = q.schedule.Append(Step(t, history.DeqOk(int(en.elem))))
 		q.bumpConcurrency()
+		q.count("txn.deq")
 		return en.elem, nil
 	}
+	q.count("txn.deq.empty")
 	return 0, ErrEmpty
 }
 
@@ -203,6 +215,8 @@ func (q *Queue) Commit(t ID) error {
 	q.compact()
 	q.status[t] = StatusCommitted
 	q.schedule = q.schedule.Append(Commit(t))
+	q.count("txn.commit")
+	q.event("txn.commit", txnAttr(t))
 	return nil
 }
 
@@ -218,6 +232,8 @@ func (q *Queue) AbortTxn(t ID) error {
 	}
 	q.status[t] = StatusAborted
 	q.schedule = q.schedule.Append(Abort(t))
+	q.count("txn.abort")
+	q.event("txn.abort", txnAttr(t))
 	return nil
 }
 
@@ -259,6 +275,7 @@ func (q *Queue) bumpConcurrency() {
 	if n > q.concurrentDeqHigh {
 		q.concurrentDeqHigh = n
 	}
+	q.reg.Gauge("txn.concurrent_dequeuers.max").Max(int64(q.concurrentDeqHigh))
 }
 
 // activeDequeuers returns the active transactions that have executed at
