@@ -1,7 +1,7 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race bench bench-json vet fmt lint experiments verify examples clean
+.PHONY: all build test race fuzz bench bench-json vet fmt lint experiments verify examples clean
 
 all: build vet lint test
 
@@ -12,7 +12,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/integration/ ./cmd/...
+	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/integration/ ./cmd/...
+
+# Short native-fuzzing smoke: each target gets a bounded budget on top
+# of its checked-in seed corpus (testdata/fuzz). CI runs this; longer
+# local sessions just raise -fuzztime.
+fuzz:
+	$(GO) test -fuzz=FuzzEngineMatchesNaive -fuzztime=20s ./internal/automaton/
+	$(GO) test -fuzz=FuzzTaxiLatticeMonotonicity -fuzztime=20s ./internal/lattice/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

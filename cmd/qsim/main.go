@@ -8,6 +8,14 @@
 // Usage:
 //
 //	qsim [-sites N] [-ops N] [-seed N] [-pcrash P] [-ppartition P] [-assignment Q1Q2|Q1|Q2|none] [-degrade]
+//	qsim -adaptive [-sites N] [-ops N] [-seed N] [-mttf T] [-mttr T] [-mtbp T] [-dwell T] [-horizon T]
+//
+// In -adaptive mode clients carry a retry/backoff policy and an
+// adaptive degradation controller over the ladder Q1Q2 → Q1 → none on
+// a discrete-event engine: stochastic crash/partition processes
+// (stopped at half the horizon) drive the controller down the ladder
+// and the background probe brings it back; the run ends with the same
+// lattice audit, now checked against the controller's claimed floor.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
 	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/resilience"
 	"relaxlattice/internal/sim"
 	"relaxlattice/internal/specs"
 )
@@ -36,9 +45,22 @@ func main() {
 	pPartition := flag.Float64("ppartition", 0.05, "per-op probability the network splits in two")
 	assignment := flag.String("assignment", "Q1Q2", "quorum assignment: Q1Q2, Q1, Q2, none")
 	degrade := flag.Bool("degrade", true, "clients fall down the lattice instead of failing")
+	adaptive := flag.Bool("adaptive", false, "run retry/backoff clients with an adaptive degradation controller")
+	mttf := flag.Float64("mttf", 15, "adaptive: mean time between site crashes (sim time; 0 disables)")
+	mttr := flag.Float64("mttr", 10, "adaptive: mean site repair time (sim time)")
+	mtbp := flag.Float64("mtbp", 40, "adaptive: mean time between partitions (sim time; 0 disables)")
+	dwell := flag.Float64("dwell", 15, "adaptive: mean partition dwell before healing (sim time)")
+	horizon := flag.Float64("horizon", 400, "adaptive: simulation horizon (faults stop at half of it)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *sites, *ops, *seed, *pCrash, *pRepair, *pPartition, *assignment, *degrade); err != nil {
+	var err error
+	if *adaptive {
+		err = runAdaptive(os.Stdout, *sites, *ops, *seed,
+			cluster.FaultConfig{MTTF: *mttf, MTTR: *mttr, MTBP: *mtbp, PartitionDwell: *dwell}, *horizon)
+	} else {
+		err = run(os.Stdout, *sites, *ops, *seed, *pCrash, *pRepair, *pPartition, *assignment, *degrade)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "qsim:", err)
 		os.Exit(1)
 	}
@@ -158,6 +180,97 @@ func run(w io.Writer, sites, ops int, seed int64, pCrash, pRepair, pPartition fl
 	} {
 		fmt.Fprintf(w, "  accepted by %-28s %v\n", pair.name+":", automaton.Accepts(pair.a, obs))
 	}
+	return nil
+}
+
+// runAdaptive drives one adaptive client through a stochastic fault
+// regime on a discrete-event engine and audits the outcome.
+func runAdaptive(w io.Writer, sites, ops int, seed int64, faultCfg cluster.FaultConfig, horizon float64) error {
+	opts := resilience.DefaultOptions()
+	fmt.Fprintf(w, "adaptive taxi queue: %d sites, ladder Q1Q2 → Q1 → none, %d ops, horizon %.0f\n", sites, ops, horizon)
+	fmt.Fprintf(w, "faults until t=%.0f: MTTF=%g MTTR=%g MTBP=%g dwell=%g\n\n",
+		horizon/2, faultCfg.MTTF, faultCfg.MTTR, faultCfg.MTBP, faultCfg.PartitionDwell)
+	c := cluster.New(cluster.Config{
+		Sites:   sites,
+		Quorums: quorum.TaxiAssignments(sites)["Q1Q2"],
+		Base:    specs.PriorityQueue(),
+		Fold:    quorum.PQFold(),
+		Respond: cluster.PQResponder,
+	})
+	g := sim.NewRNG(seed)
+	var engine sim.Engine
+	ladder := cluster.TaxiLadder(sites)
+	a := c.Adaptive(0, ladder, opts, &engine, g.Split())
+	faults := cluster.NewFaultProcess(c, &engine, g.Split(), faultCfg)
+	faults.Start()
+	engine.At(horizon/2, faults.Stop)
+
+	counts := sim.NewCounter()
+	var latency sim.Histogram
+	at := 0.0
+	for i := 0; i < ops; i++ {
+		at += g.Exp(horizon / 2 / float64(ops+1))
+		inv := history.DeqInv()
+		if i%3 != 2 {
+			inv = history.EnqInv(1 + g.Intn(9))
+		}
+		engine.At(at, func() {
+			from := a.Current().Name
+			a.Submit(inv, func(op history.Op, out resilience.Outcome) {
+				latency.Observe(out.Elapsed)
+				if out.Err == nil {
+					counts.Add("ok:"+op.Name, 1)
+				} else {
+					counts.Add("failed:"+out.Reason, 1)
+				}
+				if out.Attempts > 1 {
+					counts.Add("retries", out.Attempts-1)
+				}
+				if now := a.Current().Name; now != from {
+					fmt.Fprintf(w, "  >> %s: controller moved %s → %s (attempts=%d)\n", inv.Name, from, now, out.Attempts)
+				}
+			})
+		})
+	}
+	engine.Run(horizon)
+
+	fmt.Fprintf(w, "\n%s\n", faults)
+	fmt.Fprintln(w, "outcome counts:")
+	for _, name := range counts.Names() {
+		fmt.Fprintf(w, "  %-18s %d\n", name, counts.Get(name))
+	}
+	fmt.Fprintf(w, "mean latency %.2f, p95 %.2f (sim time)\n", latency.Mean(), latency.Quantile(0.95))
+	ctrl := a.Controller()
+	fmt.Fprintf(w, "\ncontroller: level=%s floor=%s descents=%d ascents=%d\n",
+		a.Current().Name, a.Floor().Name, ctrl.Descents(), ctrl.Ascents())
+	for _, tr := range ctrl.Transitions() {
+		fmt.Fprintf(w, "  %-8s %s → %s\n", tr.Reason, ladder[tr.From].Name, ladder[tr.To].Name)
+	}
+	if a.Current().Name != ladder[0].Name {
+		fmt.Fprintln(w, "  !! not back at the top rung by the horizon")
+	}
+
+	obs := c.Observed()
+	lat := core.TaxiSimpleLattice()
+	fmt.Fprintf(w, "\nobserved history (%d ops); audit against the taxi lattice:\n", len(obs))
+	sets, accepted := lat.WeakestAccepting(obs)
+	if !accepted {
+		fmt.Fprintln(w, "  history outside the lattice (should not happen)")
+		return nil
+	}
+	for _, s := range sets {
+		au, _ := lat.Phi(s)
+		fmt.Fprintf(w, "  strongest surviving constraints %s → behaves as %s\n", lat.Universe.Format(s), au.Name())
+	}
+	claims := map[string]lattice.Set{"Q1Q2": lat.Universe.All(), "Q1": lat.Universe.Named(core.ConstraintQ1), "none": 0}
+	claimed := claims[a.Floor().Name]
+	sound := false
+	for _, s := range sets {
+		if claimed.SubsetOf(s) {
+			sound = true
+		}
+	}
+	fmt.Fprintf(w, "  claimed floor %s is sound (history at least that good): %v\n", a.Floor().Name, sound)
 	return nil
 }
 

@@ -99,6 +99,15 @@ flags for run/verify:
                byte-identical to the serial run
   -workers N   (run) worker count for -parallel (0 = GOMAXPROCS)
 
+resilience flags (run; they shape X05's adaptive clients):
+  -retries N        attempt cap per operation
+  -budget T         per-operation deadline budget (sim time)
+  -backoff T        base backoff before the first retry
+  -descend-after N  consecutive failures before descending a rung
+  -ascend-after N   consecutive successes before probing upward
+  -probe-every T    background upward-probe period (sim time)
+  -hedge N          rungs above the current one a probe may test
+
 observability flags (run):
   -metrics F   write the deterministic metrics snapshot (JSON) to F;
                byte-identical across runs and worker counts at a seed
@@ -125,6 +134,20 @@ func configFlags(fs *flag.FlagSet) *experiments.Config {
 	fs.IntVar(&cfg.Bound.MaxLen, "maxlen", cfg.Bound.MaxLen, "history length bound")
 	fs.IntVar(&cfg.Bound.MaxElem, "maxelem", cfg.Bound.MaxElem, "element domain bound")
 	fs.IntVar(&cfg.Sites, "sites", cfg.Sites, "replica sites")
+	fs.IntVar(&cfg.Resilience.Policy.MaxAttempts, "retries", cfg.Resilience.Policy.MaxAttempts,
+		"adaptive clients: attempt cap per operation (X05)")
+	fs.Float64Var(&cfg.Resilience.Policy.Budget, "budget", cfg.Resilience.Policy.Budget,
+		"adaptive clients: per-operation deadline budget in sim time (X05)")
+	fs.Float64Var(&cfg.Resilience.Policy.BaseBackoff, "backoff", cfg.Resilience.Policy.BaseBackoff,
+		"adaptive clients: base backoff before the first retry (X05)")
+	fs.IntVar(&cfg.Resilience.Controller.DescendAfter, "descend-after", cfg.Resilience.Controller.DescendAfter,
+		"adaptive clients: consecutive failures before descending a lattice rung (X05)")
+	fs.IntVar(&cfg.Resilience.Controller.AscendAfter, "ascend-after", cfg.Resilience.Controller.AscendAfter,
+		"adaptive clients: consecutive successes before probing upward (X05)")
+	fs.Float64Var(&cfg.Resilience.Controller.ProbeEvery, "probe-every", cfg.Resilience.Controller.ProbeEvery,
+		"adaptive clients: period of the background upward probe in sim time (X05)")
+	fs.IntVar(&cfg.Resilience.Controller.Hedge, "hedge", cfg.Resilience.Controller.Hedge,
+		"adaptive clients: how many rungs above the current one a probe may test (X05)")
 	return &cfg
 }
 

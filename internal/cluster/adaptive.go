@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/resilience"
+	"relaxlattice/internal/sim"
+)
+
+// Level is one rung of a degradation ladder: a named quorum assignment
+// that gates execution. Ladders are ordered strongest first, and each
+// rung's name should match a lattice element so post-hoc audits
+// (lattice.Relaxation.WeakestAccepting) can confirm that histories
+// produced at a rung land at the claimed level.
+type Level struct {
+	Name    string
+	Quorums quorum.Assignment
+}
+
+// TaxiLadder returns the canonical degradation ladder of the taxi
+// example over n sites, strongest to weakest: Q1Q2 (full FIFO) → Q1
+// (enqueue order respected, dequeues may race) → none (any available
+// site serves anything). It is a chain through the taxi relaxation
+// lattice, skipping the incomparable Q2 element.
+func TaxiLadder(n int) []Level {
+	a := quorum.TaxiAssignments(n)
+	return []Level{
+		{Name: "Q1Q2", Quorums: a["Q1Q2"]},
+		{Name: "Q1", Quorums: a["Q1"]},
+		{Name: "none", Quorums: a["none"]},
+	}
+}
+
+// AdaptiveClient wraps a protocol client with a retry policy and a
+// degradation controller. Submissions execute under the controller's
+// current ladder rung; repeated unavailability pushes the client down
+// the ladder (each move recorded as a cluster.episode), sustained
+// success probes back up, and an optional periodic probe loop on the
+// simulation engine re-tests stronger rungs while degraded.
+type AdaptiveClient struct {
+	cl     *Client
+	engine *sim.Engine
+	rng    *sim.RNG
+	policy resilience.Policy
+	ctrl   *resilience.Controller
+	levels []Level
+}
+
+// Adaptive creates an adaptive client homed at the given site. The
+// ladder must be non-empty and every rung must cover the cluster's
+// sites (panics otherwise — configuration errors). opts.Controller's
+// Levels field is overridden by len(levels). When ProbeEvery > 0 a
+// recurring probe event is scheduled on the engine immediately; the
+// engine's run horizon bounds it.
+func (c *Cluster) Adaptive(home int, levels []Level, opts resilience.Options, engine *sim.Engine, rng *sim.RNG) *AdaptiveClient {
+	if len(levels) == 0 {
+		panic("cluster: adaptive client needs a non-empty ladder")
+	}
+	for i, l := range levels {
+		if l.Quorums == nil || l.Quorums.Sites() != c.cfg.Sites {
+			panic(fmt.Sprintf("cluster: ladder rung %d (%q) does not cover %d sites", i, l.Name, c.cfg.Sites))
+		}
+	}
+	if engine == nil || rng == nil {
+		panic("cluster: adaptive client needs an engine and an RNG")
+	}
+	cfg := opts.Controller
+	cfg.Levels = len(levels)
+	a := &AdaptiveClient{
+		cl:     c.Client(home),
+		engine: engine,
+		rng:    rng,
+		policy: opts.Policy,
+		ctrl:   resilience.NewController(cfg),
+		levels: append([]Level(nil), levels...),
+	}
+	if cfg.ProbeEvery > 0 {
+		engine.Every(
+			func() float64 { return a.rng.Jitter(cfg.ProbeEvery, a.policy.Jitter) },
+			func() bool {
+				if a.ctrl.Degraded() {
+					a.probe("probe")
+				}
+				return true
+			})
+	}
+	return a
+}
+
+// Controller exposes the degradation controller (level, floor,
+// transition log) for reporting and audits.
+func (a *AdaptiveClient) Controller() *resilience.Controller { return a.ctrl }
+
+// Current returns the ladder rung the client executes under right now.
+func (a *AdaptiveClient) Current() Level { return a.levels[a.ctrl.Level()] }
+
+// Floor returns the weakest rung the client has ever occupied — the
+// degradation level the post-hoc lattice audit must confirm.
+func (a *AdaptiveClient) Floor() Level { return a.levels[a.ctrl.Floor()] }
+
+// Submit runs one invocation under the adaptive policy: execute at the
+// current rung, retry with backoff on unavailability (descending the
+// ladder as failure streaks accumulate), and report the terminal
+// outcome to done. Retries are scheduled on the engine, so the
+// submission completes only as the simulation runs; done receives the
+// completed operation (zero on failure) and the retry outcome.
+// ErrNoResponse is not retryable: it is a semantic rejection by the
+// object, not an availability failure.
+func (a *AdaptiveClient) Submit(inv history.Invocation, done func(history.Op, resilience.Outcome)) {
+	c := a.cl.c
+	var op history.Op
+	resilience.Do(a.engine, a.rng, a.policy,
+		func(err error) bool { return errors.Is(err, ErrUnavailable) },
+		func(n int) error {
+			if n > 1 {
+				c.cfg.Metrics.Counter("cluster.adaptive.retry").Add(1)
+			}
+			lvl := a.levels[a.ctrl.Level()]
+			var err error
+			op, err = a.cl.ExecuteUnder(inv, lvl.Quorums, lvl.Name)
+			if err == nil {
+				if a.ctrl.OnSuccess() {
+					a.probe(inv.Name)
+				}
+				return nil
+			}
+			if errors.Is(err, ErrUnavailable) {
+				if to, down := a.ctrl.OnFailure(); down {
+					c.cfg.Metrics.Counter("cluster.adaptive.descend").Add(1)
+					c.recordAdaptiveTransition(a.cl, inv.Name, behaviorDescend+a.levels[to].Name)
+				}
+			}
+			return err
+		},
+		func(out resilience.Outcome) {
+			c.cfg.Metrics.Histogram("cluster.adaptive.attempts", attemptBounds).Observe(int64(out.Attempts))
+			if done != nil {
+				done(op, out)
+			}
+		})
+}
+
+// probe asks the controller to re-test stronger rungs, using read-only
+// cluster probes as the availability oracle, and records an ascent
+// episode when the controller moves up.
+func (a *AdaptiveClient) probe(opName string) {
+	c := a.cl.c
+	to, up := a.ctrl.Probe(func(lvl int) bool {
+		ok := c.Probe(a.cl.home, a.levels[lvl].Quorums)
+		if ok {
+			c.cfg.Metrics.Counter("cluster.adaptive.probe.ok").Add(1)
+		} else {
+			c.cfg.Metrics.Counter("cluster.adaptive.probe.fail").Add(1)
+		}
+		return ok
+	})
+	if up {
+		c.cfg.Metrics.Counter("cluster.adaptive.ascend").Add(1)
+		c.recordAdaptiveTransition(a.cl, opName, behaviorAscend+a.levels[to].Name)
+	}
+}

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/resilience"
+	"relaxlattice/internal/sim"
+	"relaxlattice/internal/specs"
+)
+
+// adaptiveHarness is a 5-site taxi cluster with metrics, tracing, and
+// an adaptive client on the canonical ladder.
+func adaptiveHarness(t *testing.T, opts resilience.Options) (*Cluster, *AdaptiveClient, *sim.Engine, *obs.Registry, *obs.Recorder) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder()
+	c := New(Config{
+		Sites:   5,
+		Quorums: quorum.TaxiAssignments(5)["Q1Q2"],
+		Base:    specs.PriorityQueue(),
+		Eval:    quorum.PQEval,
+		Respond: PQResponder,
+		Metrics: reg,
+		Trace:   rec,
+	})
+	engine := &sim.Engine{}
+	a := c.Adaptive(0, TaxiLadder(5), opts, engine, sim.NewRNG(7))
+	return c, a, engine, reg, rec
+}
+
+func submitAndRun(t *testing.T, a *AdaptiveClient, engine *sim.Engine, inv history.Invocation, horizon float64) (history.Op, resilience.Outcome) {
+	t.Helper()
+	var op history.Op
+	var out resilience.Outcome
+	called := false
+	a.Submit(inv, func(o history.Op, res resilience.Outcome) {
+		op, out, called = o, res, true
+	})
+	engine.Run(horizon)
+	if !called {
+		t.Fatalf("submission of %s did not complete by t=%v", inv, horizon)
+	}
+	return op, out
+}
+
+func TestAdaptiveDescendsUnderFaultsAndRecovers(t *testing.T) {
+	opts := resilience.Options{
+		Policy: resilience.Policy{MaxAttempts: 8, BaseBackoff: 1, Multiplier: 1},
+		Controller: resilience.ControllerConfig{
+			DescendAfter: 1, AscendAfter: 1, Hedge: 2, ProbeEvery: 5,
+		},
+	}
+	c, a, engine, reg, rec := adaptiveHarness(t, opts)
+
+	// Healthy: executes at the top rung, no retries.
+	op, out := submitAndRun(t, a, engine, history.EnqInv(9), 1)
+	if out.Err != nil || out.Attempts != 1 || a.Current().Name != "Q1Q2" {
+		t.Fatalf("healthy submit: op=%v out=%+v level=%s", op, out, a.Current().Name)
+	}
+
+	// Crash three sites: two up. Q1Q2 loses both quorums; Q1 still
+	// lacks Enq's final quorum (4 of 5); "none" serves anything.
+	c.Crash(2)
+	c.Crash(3)
+	c.Crash(4)
+	_, out = submitAndRun(t, a, engine, history.EnqInv(4), 100)
+	if out.Err != nil {
+		t.Fatalf("degraded submit failed: %+v", out)
+	}
+	if out.Attempts != 3 {
+		t.Errorf("attempts = %d, want 3 (one failure per rung above none)", out.Attempts)
+	}
+	if a.Current().Name != "none" || a.Floor().Name != "none" {
+		t.Errorf("level=%s floor=%s, want none/none", a.Current().Name, a.Floor().Name)
+	}
+	if !a.Controller().Degraded() {
+		t.Error("controller not degraded after descents")
+	}
+
+	// Faults heal; the periodic probe loop climbs back to the top
+	// (Hedge=2 lets it leapfrog Q1 when Q1Q2 answers).
+	c.Restore(2)
+	c.Restore(3)
+	c.Restore(4)
+	engine.Run(200)
+	if a.Current().Name != "Q1Q2" {
+		t.Fatalf("level after heal = %s, want Q1Q2", a.Current().Name)
+	}
+	if a.Floor().Name != "none" {
+		t.Errorf("floor after heal = %s, want none (floor is sticky)", a.Floor().Name)
+	}
+	if d, asc := a.Controller().Descents(), a.Controller().Ascents(); d != 2 || asc < 1 {
+		t.Errorf("descents=%d ascents=%d", d, asc)
+	}
+
+	// And the recovered client serves at the preferred rung again.
+	if _, out = submitAndRun(t, a, engine, history.DeqInv(), 300); out.Err != nil || out.Attempts != 1 {
+		t.Errorf("post-heal Deq: %+v", out)
+	}
+
+	// Metrics: retries, descents, ascents, and probes all surfaced.
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"cluster.adaptive.retry", "cluster.adaptive.descend",
+		"cluster.adaptive.ascend", "cluster.adaptive.probe.ok",
+	} {
+		if v, ok := snap.Counter(name); !ok || v == 0 {
+			t.Errorf("metric %s = %d (present=%v), want > 0", name, v, ok)
+		}
+	}
+
+	// The journal carries the controller's lattice moves as episodes.
+	var behaviors []string
+	for _, e := range rec.Events() {
+		if e.Name != "cluster.episode" {
+			continue
+		}
+		if b, ok := e.Attr("behavior"); ok && strings.HasPrefix(b, "adaptive-") {
+			behaviors = append(behaviors, b)
+		}
+	}
+	want := []string{"adaptive-descend:Q1", "adaptive-descend:none", "adaptive-ascend:Q1Q2"}
+	if len(behaviors) < len(want) {
+		t.Fatalf("adaptive episodes %v, want at least %v", behaviors, want)
+	}
+	for i, w := range want {
+		if behaviors[i] != w {
+			t.Errorf("episode %d = %s, want %s", i, behaviors[i], w)
+		}
+	}
+}
+
+func TestAdaptiveDoesNotRetryNoResponse(t *testing.T) {
+	opts := resilience.DefaultOptions()
+	_, a, engine, _, _ := adaptiveHarness(t, opts)
+	// Deq on an empty queue is a semantic rejection, not unavailability:
+	// one attempt, no descent.
+	_, out := submitAndRun(t, a, engine, history.DeqInv(), 100)
+	if !errors.Is(out.Err, ErrNoResponse) || out.Attempts != 1 || out.Reason != resilience.ReasonNonRetryable {
+		t.Fatalf("outcome %+v", out)
+	}
+	if a.Controller().Degraded() {
+		t.Error("semantic rejection degraded the client")
+	}
+}
+
+func TestAdaptiveSubmitBudgetExhaustion(t *testing.T) {
+	opts := resilience.Options{
+		Policy: resilience.Policy{MaxAttempts: 50, Budget: 10, BaseBackoff: 2, Multiplier: 1},
+		Controller: resilience.ControllerConfig{
+			// Effectively never descend: the budget, not the ladder,
+			// ends this submission.
+			DescendAfter: 1000,
+		},
+	}
+	c, a, engine, _, _ := adaptiveHarness(t, opts)
+	for s := 0; s < 5; s++ {
+		c.Crash(s)
+	}
+	_, out := submitAndRun(t, a, engine, history.EnqInv(1), 1000)
+	if !errors.Is(out.Err, ErrUnavailable) || out.Reason != resilience.ReasonBudget {
+		t.Fatalf("outcome %+v, want budget-bounded unavailability", out)
+	}
+	if out.Elapsed > 10 {
+		t.Errorf("spent %v, budget was 10", out.Elapsed)
+	}
+}
+
+func TestAdaptivePanicsOnBadLadder(t *testing.T) {
+	c := taxiCluster(t, 5, "Q1Q2")
+	engine := &sim.Engine{}
+	rng := sim.NewRNG(1)
+	for _, tc := range []struct {
+		name   string
+		levels []Level
+	}{
+		{"empty ladder", nil},
+		{"wrong site count", []Level{{Name: "small", Quorums: quorum.Majority(3, history.NameEnq)}}},
+		{"nil assignment", []Level{{Name: "nil"}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			c.Adaptive(0, tc.levels, resilience.DefaultOptions(), engine, rng)
+		}()
+	}
+}
+
+// Executing under an explicit rung (ExecuteUnder) gates availability by
+// the rung, never by the cluster's preferred assignment, and stamps
+// episodes with the rung's label.
+func TestExecuteUnderGatesByLevel(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder()
+	c := New(Config{
+		Sites:   5,
+		Quorums: quorum.TaxiAssignments(5)["Q1Q2"],
+		Base:    specs.PriorityQueue(),
+		Eval:    quorum.PQEval,
+		Respond: PQResponder,
+		Metrics: reg,
+		Trace:   rec,
+	})
+	cl := c.Client(0)
+	weak := quorum.TaxiAssignments(5)["none"]
+	if _, err := cl.ExecuteUnder(history.EnqInv(3), weak, "none"); err != nil {
+		t.Fatalf("ExecuteUnder healthy: %v", err)
+	}
+	// Down to one site: the preferred assignment is hopeless, the weak
+	// rung still serves. Degrade stays false — the rung is the gate.
+	c.Crash(1)
+	c.Crash(2)
+	c.Crash(3)
+	c.Crash(4)
+	if _, err := cl.Execute(history.DeqInv()); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("preferred Execute on 1 site: %v", err)
+	}
+	op, err := cl.ExecuteUnder(history.DeqInv(), weak, "none")
+	if err != nil || op.Res[0] != 3 {
+		t.Fatalf("weak-rung Deq: op=%v err=%v", op, err)
+	}
+	// The level label reaches the journal.
+	found := false
+	for _, e := range rec.Events() {
+		if b, ok := e.Attr("behavior"); ok && b == "level:none" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no level:none episode recorded")
+	}
+	// A rung over the wrong number of sites is rejected up front.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched gate did not panic")
+		}
+	}()
+	_, _ = cl.ExecuteUnder(history.DeqInv(), quorum.Majority(3, history.NameDeq), "bad")
+}

@@ -297,7 +297,30 @@ func (c *Cluster) Client(home int) *Client {
 // Execute runs the three-step quorum-consensus protocol for one
 // invocation. On success it returns the completed operation execution.
 func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
-	c := cl.c
+	return cl.c.execute(cl, inv, cl.c.cfg.Quorums, "")
+}
+
+// ExecuteUnder runs the protocol gated by an alternative quorum
+// assignment — one rung of a degradation ladder. The gate decides
+// availability (and, failing it, the operation is rejected with
+// ErrUnavailable regardless of cl.Degrade); the protocol itself still
+// uses every reachable site, so any superset of a gate quorum serves
+// as that quorum. Episodes record behavior "level:<label>", while the
+// constraint set is still rendered against the cluster's configured
+// assignment, keeping episode streams from adaptive and plain clients
+// comparable.
+func (cl *Client) ExecuteUnder(inv history.Invocation, gate quorum.Assignment, label string) (history.Op, error) {
+	if gate.Sites() != len(cl.c.logs) {
+		panic(fmt.Sprintf("cluster: gate assignment over %d sites, cluster has %d", gate.Sites(), len(cl.c.logs)))
+	}
+	return cl.c.execute(cl, inv, gate, label)
+}
+
+// execute is the shared protocol body. A non-empty label marks a
+// ladder-gated execution (behavior "level:<label>", no degraded
+// fallback); an empty label is the plain path, byte-compatible with
+// the original Execute.
+func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assignment, label string) (history.Op, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -308,8 +331,8 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 	metrics := c.cfg.Metrics
 	metrics.Counter("cluster.execute.attempt." + inv.Name).Add(1)
 	metrics.Histogram("cluster.reachable", reachableBounds).Observe(int64(len(reachable)))
-	quorumOK := hasQuorum(c.cfg.Quorums, inv.Name, reachable, len(c.logs))
-	if !quorumOK && !cl.Degrade {
+	quorumOK := hasQuorum(gate, inv.Name, reachable, len(c.logs))
+	if !quorumOK && (label != "" || !cl.Degrade) {
 		metrics.Counter("cluster.execute.unavailable." + inv.Name).Add(1)
 		c.observeEpisode(cl, inv.Name, reachable, behaviorReject)
 		return history.Op{}, fmt.Errorf("%w: op %s reaches %d site(s)", ErrUnavailable, inv.Name, len(reachable))
@@ -320,7 +343,9 @@ func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
 		return history.Op{}, fmt.Errorf("%w: op %s reaches no sites", ErrUnavailable, inv.Name)
 	}
 	behavior := behaviorQuorum
-	if !quorumOK {
+	if label != "" {
+		behavior = behaviorLevel + label
+	} else if !quorumOK {
 		behavior = behaviorDegraded
 		metrics.Counter("cluster.execute.degraded." + inv.Name).Add(1)
 	}
@@ -384,4 +409,40 @@ func hasQuorum(v quorum.Assignment, op string, reachable []int, sites int) bool 
 		alive[s] = true
 	}
 	return v.HasQuorum(op, alive)
+}
+
+// Probe reports whether a client homed at home could currently
+// assemble every quorum of gate — a read-only availability probe.
+// Nothing is executed, logged, or recorded: probing is how adaptive
+// clients test a stronger rung of the degradation ladder without
+// risking an observable failure.
+func (c *Cluster) Probe(home int, gate quorum.Assignment) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.up[home] {
+		return false
+	}
+	alive := make([]bool, len(c.logs))
+	for _, s := range c.reachableFrom(home) {
+		alive[s] = true
+	}
+	return quorum.FullyAvailable(gate, alive)
+}
+
+// View assembles, without executing anything, the merged view a client
+// homed at home would read in step 1 of the protocol, along with the
+// reachable sites it would be built from. A client on a crashed site
+// sees an empty view and no sites.
+func (c *Cluster) View(home int) (quorum.Log, []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.up[home] {
+		return quorum.Log{}, nil
+	}
+	reachable := c.reachableFrom(home)
+	logs := make([]quorum.Log, 0, len(reachable))
+	for _, s := range reachable {
+		logs = append(logs, c.logs[s])
+	}
+	return quorum.Merge(logs...), reachable
 }

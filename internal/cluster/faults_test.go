@@ -135,3 +135,62 @@ func TestClusterWithGridAssignment(t *testing.T) {
 		t.Errorf("expected ErrUnavailable with a dead row, got %v", err)
 	}
 }
+
+func TestFaultProcessRejectsNegativeMeans(t *testing.T) {
+	c := taxiCluster(t, 3, "Q1Q2")
+	var engine sim.Engine
+	g := sim.NewRNG(1)
+	for _, cfg := range []FaultConfig{
+		{MTTF: -1, MTTR: 1},
+		{MTTF: 10, MTTR: -1},
+		{MTBP: -5, PartitionDwell: 1},
+		{MTBP: 10, PartitionDwell: -0.5},
+	} {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			NewFaultProcess(c, &engine, g, cfg)
+		}()
+	}
+	// Zero means are fine: both fault classes simply disabled.
+	f := NewFaultProcess(c, &engine, g, FaultConfig{})
+	f.Start()
+	if engine.Pending() != 0 {
+		t.Errorf("disabled fault process scheduled %d events", engine.Pending())
+	}
+}
+
+// Stop freezes injection but lets in-flight repairs complete, so the
+// cluster converges back to full health.
+func TestFaultProcessStopHeals(t *testing.T) {
+	c := taxiCluster(t, 5, "Q1Q2")
+	var engine sim.Engine
+	g := sim.NewRNG(3)
+	f := NewFaultProcess(c, &engine, g, FaultConfig{MTTF: 5, MTTR: 10, MTBP: 15, PartitionDwell: 20})
+	f.Start()
+	engine.Run(50)
+	if f.Crashes == 0 {
+		t.Fatal("no faults injected before Stop")
+	}
+	f.Stop()
+	crashes, partitions := f.Crashes, f.Partitions
+	// Long after the longest dwell, every repair has run and nothing
+	// new was injected.
+	engine.Run(10_000)
+	if f.Crashes != crashes || f.Partitions != partitions {
+		t.Errorf("faults injected after Stop: %s (had crashes=%d partitions=%d)", f, crashes, partitions)
+	}
+	if f.Repairs != f.Crashes || f.Heals != f.Partitions {
+		t.Errorf("in-flight recoveries did not complete: %s", f)
+	}
+	if c.UpSites() != 5 {
+		t.Errorf("%d sites up after Stop+drain, want 5", c.UpSites())
+	}
+	if engine.Pending() != 0 {
+		t.Errorf("%d events still pending after drain", engine.Pending())
+	}
+}

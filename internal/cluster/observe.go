@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/quorum"
 )
 
 // This file is the cluster's degradation-episode reporter: the piece
@@ -24,13 +25,19 @@ import (
 
 // Behavior labels for episode events.
 const (
-	behaviorQuorum   = "preferred-quorum" // quorum available, normal protocol
-	behaviorDegraded = "all-reachable"    // degraded: proceed with every reachable site
-	behaviorReject   = "reject"           // no quorum and degradation disabled
+	behaviorQuorum   = "preferred-quorum"  // quorum available, normal protocol
+	behaviorDegraded = "all-reachable"     // degraded: proceed with every reachable site
+	behaviorReject   = "reject"            // no quorum and degradation disabled
+	behaviorLevel    = "level:"            // prefix: executed under a degradation-ladder rung
+	behaviorDescend  = "adaptive-descend:" // prefix: controller moved down to this rung
+	behaviorAscend   = "adaptive-ascend:"  // prefix: controller probed back up to this rung
 )
 
 // reachableBounds buckets the per-execute reachable-site counts.
 var reachableBounds = []int64{0, 1, 2, 3, 4, 6, 8, 16, 32}
+
+// attemptBounds buckets per-submission retry attempts.
+var attemptBounds = []int64{1, 2, 3, 4, 6, 8, 12, 16}
 
 // now returns the next logical timestamp for a trace event. Caller
 // holds mu (the default clock is a plain logical counter ticked only
@@ -52,13 +59,7 @@ func (c *Cluster) constraintSet(reachable []int) string {
 	for _, s := range reachable {
 		alive[s] = true
 	}
-	ops := c.cfg.Quorums.Ops()
-	avail := make([]string, 0, len(ops))
-	for _, op := range ops {
-		if c.cfg.Quorums.HasQuorum(op, alive) {
-			avail = append(avail, op)
-		}
-	}
+	avail := quorum.AvailableOps(c.cfg.Quorums, alive)
 	sort.Strings(avail)
 	if len(avail) == 0 {
 		return "∅"
@@ -82,6 +83,32 @@ func (c *Cluster) observeEpisode(cl *Client, opName string, reachable []int, beh
 		obs.KV{K: "client", V: strconv.Itoa(cl.id)},
 		obs.KV{K: "home", V: strconv.Itoa(cl.home)},
 		obs.KV{K: "constraints", V: cset},
+		obs.KV{K: "behavior", V: behavior},
+		obs.KV{K: "op", V: opName},
+		obs.KV{K: "reachable", V: strconv.Itoa(len(reachable))},
+	)
+}
+
+// recordAdaptiveTransition records a controller level change as a
+// cluster.episode event with the same attribute schema as protocol
+// episodes, so one journal carries both the lattice moves the protocol
+// observed and the moves the adaptive controller chose. Transitions
+// are always recorded (no deduplication): each one is a deliberate
+// move in the relaxation lattice.
+func (c *Cluster) recordAdaptiveTransition(cl *Client, opName, behavior string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.Trace == nil {
+		return
+	}
+	reachable := c.reachableFrom(cl.home)
+	if !c.up[cl.home] {
+		reachable = nil
+	}
+	c.cfg.Trace.Record(c.now(), "cluster.episode",
+		obs.KV{K: "client", V: strconv.Itoa(cl.id)},
+		obs.KV{K: "home", V: strconv.Itoa(cl.home)},
+		obs.KV{K: "constraints", V: c.constraintSet(reachable)},
 		obs.KV{K: "behavior", V: behavior},
 		obs.KV{K: "op", V: opName},
 		obs.KV{K: "reachable", V: strconv.Itoa(len(reachable))},

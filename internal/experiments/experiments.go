@@ -17,6 +17,7 @@ import (
 
 	"relaxlattice/internal/core"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/resilience"
 )
 
 // Config parameterizes experiment runs. The zero value is not useful;
@@ -39,6 +40,12 @@ type Config struct {
 	// Trace, when set, receives each experiment's event journal,
 	// appended strictly in ID order behind an "experiment" marker event.
 	Trace *obs.Recorder
+	// Resilience configures the retry/backoff policy and adaptive
+	// degradation controller of the X05 sweep (relaxctl's -retries,
+	// -budget, -backoff, -descend-after, -ascend-after, -probe-every,
+	// and -hedge flags feed this). A zero Policy falls back to
+	// resilience.DefaultOptions.
+	Resilience resilience.Options
 }
 
 // Default returns the configuration used for EXPERIMENTS.md. The
@@ -48,10 +55,11 @@ type Config struct {
 // of histories.
 func Default() Config {
 	return Config{
-		Seed:   1987, // the paper's year; any seed works
-		Bound:  core.Bound{MaxElem: 2, MaxLen: 8},
-		Trials: 200000,
-		Sites:  5,
+		Seed:       1987, // the paper's year; any seed works
+		Bound:      core.Bound{MaxElem: 2, MaxLen: 8},
+		Trials:     200000,
+		Sites:      5,
+		Resilience: resilience.DefaultOptions(),
 	}
 }
 

@@ -1,0 +1,95 @@
+package lattice_test
+
+import (
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+)
+
+// decodeHistory maps fuzzer bytes onto a bounded queue history: each
+// byte selects one operation of the alphabet.
+func decodeHistory(data []byte) history.History {
+	alphabet := history.QueueAlphabet(2)
+	if len(data) > 8 {
+		data = data[:8]
+	}
+	h := make(history.History, 0, len(data))
+	for _, b := range data {
+		h = append(h, alphabet[int(b)%len(alphabet)])
+	}
+	return h
+}
+
+// FuzzTaxiLatticeMonotonicity checks the order-theoretic heart of the
+// relaxation lattice on fuzzer-chosen histories: acceptance is
+// antitone in the constraint set (anything a stronger behavior accepts,
+// every weaker behavior accepts too — relaxing constraints only grows
+// the language), and WeakestAccepting returns exactly the maximal
+// accepting sets.
+func FuzzTaxiLatticeMonotonicity(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 2})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{0, 0, 2, 2})
+	f.Add([]byte{1, 3, 0, 2, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		lat := core.TaxiSimpleLattice()
+		domain := lat.Domain()
+		acc := map[lattice.Set]bool{}
+		for _, s := range domain {
+			a, ok := lat.Phi(s)
+			if !ok {
+				t.Fatalf("φ undefined on %s", lat.Universe.Format(s))
+			}
+			acc[s] = automaton.Accepts(a, h)
+		}
+		for _, s := range domain {
+			for _, u := range domain {
+				if s.SubsetOf(u) && acc[u] && !acc[s] {
+					t.Fatalf("monotonicity broken on %v: accepted at %s but not at weaker %s",
+						h, lat.Universe.Format(u), lat.Universe.Format(s))
+				}
+			}
+		}
+		weakest, ok := lat.WeakestAccepting(h)
+		anyAccepting := false
+		for _, s := range domain {
+			anyAccepting = anyAccepting || acc[s]
+		}
+		if ok != anyAccepting {
+			t.Fatalf("WeakestAccepting ok=%v but acceptance map says %v for %v", ok, anyAccepting, h)
+		}
+		for _, s := range weakest {
+			if !acc[s] {
+				t.Fatalf("WeakestAccepting returned non-accepting %s for %v", lat.Universe.Format(s), h)
+			}
+			for _, u := range domain {
+				if u != s && s.SubsetOf(u) && acc[u] {
+					t.Fatalf("WeakestAccepting returned non-maximal %s (accepted at %s) for %v",
+						lat.Universe.Format(s), lat.Universe.Format(u), h)
+				}
+			}
+		}
+		// Completeness: every accepting set lies under some returned
+		// maximal set.
+		for _, s := range domain {
+			if !acc[s] {
+				continue
+			}
+			covered := false
+			for _, m := range weakest {
+				if s.SubsetOf(m) {
+					covered = true
+				}
+			}
+			if !covered {
+				t.Fatalf("accepting set %s not covered by WeakestAccepting %v for %v",
+					lat.Universe.Format(s), weakest, h)
+			}
+		}
+	})
+}

@@ -62,10 +62,12 @@ type Config struct {
 	SpecPaths []string
 }
 
-// DefaultConfig returns the repository's rule scoping: the seven
+// DefaultConfig returns the repository's rule scoping: the eight
 // model-layer packages (including the observability substrate, whose
-// logical-clock journal must itself stay wall-clock-free) and the
-// specification catalog.
+// logical-clock journal must itself stay wall-clock-free, and the
+// resilience layer, whose retry timing and jitter must come from the
+// simulated clock and injected RNG alone) and the specification
+// catalog.
 func DefaultConfig() Config {
 	return Config{
 		ModelPaths: []string{
@@ -76,6 +78,7 @@ func DefaultConfig() Config {
 			"internal/history",
 			"internal/quorum",
 			"internal/obs",
+			"internal/resilience",
 		},
 		SpecPaths: []string{"internal/specs"},
 	}

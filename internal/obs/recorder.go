@@ -25,6 +25,17 @@ type Event struct {
 	Attrs []KV
 }
 
+// Attr returns the value of the named attribute and whether it is
+// present. Linear scan: events carry a handful of attributes.
+func (e Event) Attr(key string) (string, bool) {
+	for _, kv := range e.Attrs {
+		if kv.K == key {
+			return kv.V, true
+		}
+	}
+	return "", false
+}
+
 // appendJSONString appends s as a JSON string literal. Hand-rolled so
 // the journal encoder has no error path (encoding/json cannot fail on
 // strings, but its API still returns an error relaxlint would make us

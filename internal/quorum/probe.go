@@ -1,0 +1,31 @@
+package quorum
+
+// AvailableOps returns the operation names of a whose initial and
+// final quorums the alive site set can assemble, in Ops() order
+// (sorted). This is the constraint set C the observability layer
+// renders for degradation episodes, and the probe target adaptive
+// clients evaluate before ascending a degradation ladder: no logs are
+// read and no view is built, so probing is free of protocol side
+// effects.
+func AvailableOps(a Assignment, alive []bool) []string {
+	ops := a.Ops()
+	avail := make([]string, 0, len(ops))
+	for _, op := range ops {
+		if a.HasQuorum(op, alive) {
+			avail = append(avail, op)
+		}
+	}
+	return avail
+}
+
+// FullyAvailable reports whether every operation of a has both quorums
+// within the alive site set — the availability predicate for one rung
+// of a degradation ladder.
+func FullyAvailable(a Assignment, alive []bool) bool {
+	for _, op := range a.Ops() {
+		if !a.HasQuorum(op, alive) {
+			return false
+		}
+	}
+	return true
+}

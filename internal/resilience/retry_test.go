@@ -1,0 +1,104 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+
+	"relaxlattice/internal/sim"
+)
+
+var errFlaky = errors.New("flaky")
+
+func TestDoSucceedsAfterRetries(t *testing.T) {
+	var engine sim.Engine
+	p := Policy{MaxAttempts: 5, BaseBackoff: 1, Multiplier: 2}
+	calls := 0
+	var got Outcome
+	Do(&engine, nil, p, nil, func(n int) error {
+		calls++
+		if n != calls {
+			t.Errorf("attempt number %d on call %d", n, calls)
+		}
+		if n < 3 {
+			return errFlaky
+		}
+		return nil
+	}, func(out Outcome) { got = out })
+	engine.Run(100)
+	if calls != 3 || got.Attempts != 3 || got.Err != nil || got.Reason != "" {
+		t.Fatalf("outcome %+v after %d calls", got, calls)
+	}
+	// Delays 1 + 2 elapsed between the three attempts.
+	if got.Elapsed != 3 {
+		t.Errorf("Elapsed = %v, want 3", got.Elapsed)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	var engine sim.Engine
+	p := Policy{MaxAttempts: 4, BaseBackoff: 0.5}
+	var got Outcome
+	Do(&engine, nil, p, nil, func(int) error { return errFlaky }, func(out Outcome) { got = out })
+	engine.Run(100)
+	if got.Attempts != 4 || !errors.Is(got.Err, errFlaky) || got.Reason != ReasonAttempts {
+		t.Fatalf("outcome %+v", got)
+	}
+}
+
+func TestDoRespectsBudget(t *testing.T) {
+	var engine sim.Engine
+	// Backoffs 4, 8, 16, ...: the second retry (at t=12) overruns the
+	// budget of 10, so exactly two attempts run.
+	p := Policy{MaxAttempts: 10, Budget: 10, BaseBackoff: 4, Multiplier: 2}
+	var got Outcome
+	Do(&engine, nil, p, nil, func(int) error { return errFlaky }, func(out Outcome) { got = out })
+	engine.Run(1000)
+	if got.Attempts != 2 || got.Reason != ReasonBudget {
+		t.Fatalf("outcome %+v", got)
+	}
+	if got.Elapsed != 4 {
+		t.Errorf("Elapsed = %v, want 4", got.Elapsed)
+	}
+}
+
+func TestDoNonRetryable(t *testing.T) {
+	var engine sim.Engine
+	fatal := errors.New("fatal")
+	p := Policy{MaxAttempts: 5, BaseBackoff: 1}
+	calls := 0
+	var got Outcome
+	Do(&engine, nil, p, func(err error) bool { return !errors.Is(err, fatal) },
+		func(int) error { calls++; return fatal },
+		func(out Outcome) { got = out })
+	engine.Run(100)
+	if calls != 1 || got.Reason != ReasonNonRetryable || !errors.Is(got.Err, fatal) {
+		t.Fatalf("outcome %+v after %d calls", got, calls)
+	}
+}
+
+func TestDoNilDone(t *testing.T) {
+	var engine sim.Engine
+	Do(&engine, nil, Policy{}, nil, func(int) error { return nil }, nil)
+	engine.Run(1)
+}
+
+// Simulation time advances between attempts, so state that heals with
+// time (a restored site, a healed partition) is visible to retries —
+// the property the adaptive cluster clients rely on.
+func TestDoSeesTimePassing(t *testing.T) {
+	var engine sim.Engine
+	healedAt := 5.0
+	engine.At(healedAt, func() {}) // marker; healing is just time passing
+	p := Policy{MaxAttempts: 10, BaseBackoff: 2, Multiplier: 1}
+	var got Outcome
+	Do(&engine, nil, p, nil, func(int) error {
+		if engine.Now() >= healedAt {
+			return nil
+		}
+		return errFlaky
+	}, func(out Outcome) { got = out })
+	engine.Run(100)
+	if got.Err != nil || got.Attempts != 4 {
+		t.Fatalf("outcome %+v (attempts at t=0,2,4,6; healed at t=5)", got)
+	}
+}

@@ -57,6 +57,21 @@ func (e *Engine) After(delay float64, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
+// Every schedules fn repeatedly: first after delay(), then again after
+// each subsequent delay(), for as long as fn returns true. delay is
+// re-evaluated per round, so callers can jitter the period. Recurring
+// processes built this way (probe loops, fault injectors) keep the
+// queue non-empty; Run's horizon bounds execution regardless.
+func (e *Engine) Every(delay func() float64, fn func() bool) {
+	var tick func()
+	tick = func() {
+		if fn() {
+			e.After(delay(), tick)
+		}
+	}
+	e.After(delay(), tick)
+}
+
 // Run executes events until the queue is empty or the horizon is
 // passed, returning the number of events executed. Events scheduled
 // beyond the horizon remain queued.

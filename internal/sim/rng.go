@@ -46,6 +46,20 @@ func (g *RNG) Exp(mean float64) float64 {
 	return g.r.ExpFloat64() * mean
 }
 
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac] —
+// the spread retry/backoff policies apply to scheduled delays so
+// synchronized clients desynchronize. frac is clamped to [0, 1]; a
+// non-positive frac returns d unchanged without consuming randomness.
+func (g *RNG) Jitter(d, frac float64) float64 {
+	if frac <= 0 {
+		return d
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return d * (1 + frac*(2*g.Float64()-1))
+}
+
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
