@@ -12,7 +12,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/integration/ ./cmd/...
+	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/relaxcheck/ ./internal/integration/ ./cmd/...
 
 # Short native-fuzzing smoke: each target gets a bounded budget on top
 # of its checked-in seed corpus (testdata/fuzz). CI runs this; longer
@@ -20,6 +20,7 @@ race:
 fuzz:
 	$(GO) test -fuzz=FuzzEngineMatchesNaive -fuzztime=20s ./internal/automaton/
 	$(GO) test -fuzz=FuzzTaxiLatticeMonotonicity -fuzztime=20s ./internal/lattice/
+	$(GO) test -fuzz=FuzzStepCheckerMatchesOffline -fuzztime=20s ./internal/relaxcheck/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	qsim [-sites N] [-ops N] [-seed N] [-pcrash P] [-ppartition P] [-assignment Q1Q2|Q1|Q2|none] [-degrade]
-//	qsim -adaptive [-sites N] [-ops N] [-seed N] [-mttf T] [-mttr T] [-mtbp T] [-dwell T] [-horizon T]
+//	qsim -adaptive [-online-check] [-sites N] [-ops N] [-seed N] [-mttf T] [-mttr T] [-mtbp T] [-dwell T] [-horizon T]
 //
 // In -adaptive mode clients carry a retry/backoff policy and an
 // adaptive degradation controller over the ladder Q1Q2 → Q1 → none on
@@ -16,6 +16,9 @@
 // (stopped at half the horizon) drive the controller down the ladder
 // and the background probe brings it back; the run ends with the same
 // lattice audit, now checked against the controller's claimed floor.
+// With -online-check an incremental checker (internal/relaxcheck) also
+// rides the observation path, tracking the lattice position live and
+// flagging any operation that escapes the claimed level as it happens.
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
 	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/relaxcheck"
 	"relaxlattice/internal/resilience"
 	"relaxlattice/internal/sim"
 	"relaxlattice/internal/specs"
@@ -46,6 +50,7 @@ func main() {
 	assignment := flag.String("assignment", "Q1Q2", "quorum assignment: Q1Q2, Q1, Q2, none")
 	degrade := flag.Bool("degrade", true, "clients fall down the lattice instead of failing")
 	adaptive := flag.Bool("adaptive", false, "run retry/backoff clients with an adaptive degradation controller")
+	onlineCheck := flag.Bool("online-check", false, "adaptive: attach the online incremental relaxation checker to the observation path")
 	mttf := flag.Float64("mttf", 15, "adaptive: mean time between site crashes (sim time; 0 disables)")
 	mttr := flag.Float64("mttr", 10, "adaptive: mean site repair time (sim time)")
 	mtbp := flag.Float64("mtbp", 40, "adaptive: mean time between partitions (sim time; 0 disables)")
@@ -56,7 +61,7 @@ func main() {
 	var err error
 	if *adaptive {
 		err = runAdaptive(os.Stdout, *sites, *ops, *seed,
-			cluster.FaultConfig{MTTF: *mttf, MTTR: *mttr, MTBP: *mtbp, PartitionDwell: *dwell}, *horizon)
+			cluster.FaultConfig{MTTF: *mttf, MTTR: *mttr, MTBP: *mtbp, PartitionDwell: *dwell}, *horizon, *onlineCheck)
 	} else {
 		err = run(os.Stdout, *sites, *ops, *seed, *pCrash, *pRepair, *pPartition, *assignment, *degrade)
 	}
@@ -185,21 +190,33 @@ func run(w io.Writer, sites, ops int, seed int64, pCrash, pRepair, pPartition fl
 
 // runAdaptive drives one adaptive client through a stochastic fault
 // regime on a discrete-event engine and audits the outcome.
-func runAdaptive(w io.Writer, sites, ops int, seed int64, faultCfg cluster.FaultConfig, horizon float64) error {
+func runAdaptive(w io.Writer, sites, ops int, seed int64, faultCfg cluster.FaultConfig, horizon float64, onlineCheck bool) error {
 	opts := resilience.DefaultOptions()
 	fmt.Fprintf(w, "adaptive taxi queue: %d sites, ladder Q1Q2 → Q1 → none, %d ops, horizon %.0f\n", sites, ops, horizon)
 	fmt.Fprintf(w, "faults until t=%.0f: MTTF=%g MTTR=%g MTBP=%g dwell=%g\n\n",
 		horizon/2, faultCfg.MTTF, faultCfg.MTTR, faultCfg.MTBP, faultCfg.PartitionDwell)
-	c := cluster.New(cluster.Config{
+	lat := core.TaxiSimpleLattice()
+	ladder := cluster.TaxiLadder(sites)
+	var checker *relaxcheck.Checker
+	ccfg := cluster.Config{
 		Sites:   sites,
 		Quorums: quorum.TaxiAssignments(sites)["Q1Q2"],
 		Base:    specs.PriorityQueue(),
 		Fold:    quorum.PQFold(),
 		Respond: cluster.PQResponder,
-	})
+	}
+	if onlineCheck {
+		checker = relaxcheck.New(lat, relaxcheck.Options{Claims: relaxcheck.TaxiClaims(lat.Universe)})
+		ccfg.Audit = checker
+	}
+	c := cluster.New(ccfg)
+	if checker != nil {
+		// The client starts on the top rung; the claim makes the
+		// pre-descent phase checked rather than vacuous.
+		checker.ObserveClaim(-1, ladder[0].Name)
+	}
 	g := sim.NewRNG(seed)
 	var engine sim.Engine
-	ladder := cluster.TaxiLadder(sites)
 	a := c.Adaptive(0, ladder, opts, &engine, g.Split())
 	faults := cluster.NewFaultProcess(c, &engine, g.Split(), faultCfg)
 	faults.Start()
@@ -251,7 +268,6 @@ func runAdaptive(w io.Writer, sites, ops int, seed int64, faultCfg cluster.Fault
 	}
 
 	obs := c.Observed()
-	lat := core.TaxiSimpleLattice()
 	fmt.Fprintf(w, "\nobserved history (%d ops); audit against the taxi lattice:\n", len(obs))
 	sets, accepted := lat.WeakestAccepting(obs)
 	if !accepted {
@@ -271,6 +287,21 @@ func runAdaptive(w io.Writer, sites, ops int, seed int64, faultCfg cluster.Fault
 		}
 	}
 	fmt.Fprintf(w, "  claimed floor %s is sound (history at least that good): %v\n", a.Floor().Name, sound)
+	if checker != nil {
+		fmt.Fprintf(w, "\nonline checker: steps=%d level=%s floor=%s frontier=%d\n",
+			checker.Steps(), checker.Level(), checker.FloorClaim(), checker.MaxFrontier())
+		if v := checker.Violation(); v != nil {
+			fmt.Fprintf(w, "  !! live violation: %v\n", v)
+		}
+		online := checker.Current()
+		agree := len(online) == len(sets)
+		for i := range online {
+			if !agree || online[i] != sets[i] {
+				agree = false
+			}
+		}
+		fmt.Fprintf(w, "  online verdict equals the offline audit: %v\n", agree)
+	}
 	return nil
 }
 

@@ -108,6 +108,10 @@ resilience flags (run; they shape X05's adaptive clients):
   -probe-every T    background upward-probe period (sim time)
   -hedge N          rungs above the current one a probe may test
 
+soak flags (run; they size X06's online-checking sweep):
+  -soak-ops N       operations per soak run
+  -soak-clients N   concurrent clients per soak run
+
 observability flags (run):
   -metrics F   write the deterministic metrics snapshot (JSON) to F;
                byte-identical across runs and worker counts at a seed
@@ -148,6 +152,10 @@ func configFlags(fs *flag.FlagSet) *experiments.Config {
 		"adaptive clients: period of the background upward probe in sim time (X05)")
 	fs.IntVar(&cfg.Resilience.Controller.Hedge, "hedge", cfg.Resilience.Controller.Hedge,
 		"adaptive clients: how many rungs above the current one a probe may test (X05)")
+	fs.IntVar(&cfg.SoakOps, "soak-ops", cfg.SoakOps,
+		"online-checking soak: operations per run (X06)")
+	fs.IntVar(&cfg.SoakClients, "soak-clients", cfg.SoakClients,
+		"online-checking soak: concurrent clients per run (X06)")
 	return &cfg
 }
 

@@ -1,0 +1,167 @@
+// relaxsoak is the deterministic soak/stress harness: it drives
+// hundreds of adaptive clients through tens of thousands of operations
+// on simulated time — against the replicated quorum-consensus cluster
+// and against the transactional print-spooler runtime — with the
+// online relaxation checker (internal/relaxcheck) attached as a live
+// audit. The run fails, with a nonzero exit, the moment an observed
+// prefix escapes the claimed lattice level.
+//
+// Every run is a pure function of its flags: the report text, the
+// metrics snapshot, and the event journal are byte-identical across
+// repetitions and across GOMAXPROCS settings (the whole workload runs
+// on a single-threaded discrete-event engine).
+//
+// Usage:
+//
+//	relaxsoak [-mode cluster|txn|both] [-workload uniform|bursty|skewed|fault-correlated|all]
+//	          [-seed N] [-clients N] [-ops N] [-sites N] [-dequeuers N]
+//	          [-sample N] [-calm] [-metrics F] [-trace F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+
+	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/relaxcheck"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relaxsoak:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("relaxsoak", flag.ContinueOnError)
+	mode := fs.String("mode", "both", "what to soak: cluster, txn, or both")
+	workload := fs.String("workload", "uniform", "workload kind (uniform, bursty, skewed, fault-correlated, or all)")
+	seed := fs.Int64("seed", 1987, "root seed for the deterministic run")
+	clients := fs.Int("clients", 200, "concurrent clients")
+	ops := fs.Int("ops", 10000, "operations per run")
+	sites := fs.Int("sites", 5, "cluster sites")
+	dequeuers := fs.Int("dequeuers", 3, "txn-mode concurrent dequeuer bound (spool universe size)")
+	sample := fs.Int("sample", 0, "record the checker verdict every N ops")
+	calm := fs.Bool("calm", false, "disable the stochastic background fault process (cluster mode)")
+	metricsPath := fs.String("metrics", "", "write the deterministic metrics snapshot (JSON) to this file")
+	tracePath := fs.String("trace", "", "write the logical-clock event journal (JSON Lines) to this file")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var kinds []relaxcheck.Kind
+	if *workload == "all" {
+		kinds = relaxcheck.Kinds()
+	} else {
+		k, err := relaxcheck.ParseKind(*workload)
+		if err != nil {
+			return err
+		}
+		kinds = []relaxcheck.Kind{k}
+	}
+
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder()
+	failed := false
+	for _, kind := range kinds {
+		w0 := relaxcheck.Workload{Kind: kind, Clients: *clients, Ops: *ops}
+		if *mode == "cluster" || *mode == "both" {
+			cfg := relaxcheck.ClusterSoakConfig{
+				Workload:    w0,
+				Seed:        *seed,
+				Sites:       *sites,
+				Metrics:     reg,
+				Trace:       rec,
+				SampleEvery: *sample,
+			}
+			if !*calm && kind != relaxcheck.FaultCorrelated {
+				cfg.Faults = cluster.FaultConfig{MTTF: 60, MTTR: 8, MTBP: 150, PartitionDwell: 12}
+			}
+			report, err := relaxcheck.RunClusterSoak(cfg)
+			printReport(w, "cluster", kind, report)
+			if err != nil {
+				fmt.Fprintf(w, "  FAIL: %v\n", err)
+				failed = true
+			}
+		}
+		if *mode == "txn" || *mode == "both" {
+			report, err := relaxcheck.RunTxnSoak(relaxcheck.TxnSoakConfig{
+				Workload:    w0,
+				Seed:        *seed,
+				Dequeuers:   *dequeuers,
+				Metrics:     reg,
+				Trace:       rec,
+				SampleEvery: *sample,
+			})
+			printReport(w, "txn", kind, report)
+			if err != nil {
+				fmt.Fprintf(w, "  FAIL: %v\n", err)
+				failed = true
+			}
+		}
+	}
+	if err := writeObs(*metricsPath, *tracePath, reg, rec); err != nil {
+		return err
+	}
+	if failed {
+		return fmt.Errorf("lattice-level violations detected")
+	}
+	fmt.Fprintln(w, "all soak runs landed inside their claimed lattice levels")
+	return nil
+}
+
+func printReport(w io.Writer, mode string, kind relaxcheck.Kind, r *relaxcheck.SoakReport) {
+	floor := r.FloorClaim
+	if floor == "" {
+		floor = "(top; no degradation claimed)"
+	}
+	fmt.Fprintf(w, "%-8s %-16s ops=%d completed=%d failed=%d audited=%d level=%s floor=%s maxfrontier=%d\n",
+		mode, kind, r.Ops, r.Completed, r.Failed, r.Steps, r.Level, floor, r.MaxFrontier)
+}
+
+func writeObs(metricsPath, tracePath string, reg *obs.Registry, rec *obs.Recorder) error {
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+package automaton
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+// feedBoth drives a frontier and the offline replay in lockstep,
+// asserting after every operation that the frontier's state set equals
+// StatesAfter of the prefix.
+func feedBoth(t *testing.T, a Automaton, h history.History, memoCap int) {
+	t.Helper()
+	f := NewFrontier(a)
+	if memoCap > 0 {
+		f.EnableMemo(memoCap)
+	}
+	for i, op := range h {
+		alive := f.Step(op)
+		prefix := h[:i+1]
+		want := StatesAfter(a, prefix)
+		if alive != (len(want) > 0) {
+			t.Fatalf("step %d (%v): frontier alive=%v, offline has %d states", i+1, op, alive, len(want))
+		}
+		if SetKey(f.States()) != SetKey(want) {
+			t.Fatalf("step %d (%v): frontier states %v, offline %v", i+1, op, f.States(), want)
+		}
+		if f.Size() != len(want) {
+			t.Fatalf("step %d: Size=%d, offline %d", i+1, f.Size(), len(want))
+		}
+		if !alive {
+			return
+		}
+	}
+}
+
+func TestFrontierMatchesStatesAfter(t *testing.T) {
+	histories := []history.History{
+		{},
+		{history.Credit(5), history.DebitOk(2)},
+		{history.Credit(1), history.DebitOk(2)}, // rejected at step 2
+		{history.DebitOk(1)},                    // rejected immediately
+	}
+	for _, h := range histories {
+		feedBoth(t, counter(), h, 0)
+		feedBoth(t, counter(), h, 64)
+	}
+}
+
+func TestFrontierNondeterministicGrowth(t *testing.T) {
+	// chaos forks into two states per Enq; the frontier must carry the
+	// whole powerset element, not a single path.
+	h := history.History{history.Enq(1), history.Enq(1), history.Enq(1)}
+	feedBoth(t, chaos(), h, 0)
+	f := NewFrontier(chaos())
+	for _, op := range h {
+		if !f.Step(op) {
+			t.Fatalf("chaos died on %v", op)
+		}
+	}
+	if f.Size() < 2 {
+		t.Fatalf("expected a forked frontier, got size %d", f.Size())
+	}
+	if f.Peak() < f.Size() {
+		t.Fatalf("Peak %d below current size %d", f.Peak(), f.Size())
+	}
+	if f.Steps() != len(h) {
+		t.Fatalf("Steps = %d, want %d", f.Steps(), len(h))
+	}
+}
+
+func TestFrontierDeadIsPermanent(t *testing.T) {
+	f := NewFrontier(counter())
+	if f.Step(history.DebitOk(1)) {
+		t.Fatal("overdraft accepted")
+	}
+	if f.Alive() {
+		t.Fatal("dead frontier reports alive")
+	}
+	// Prefix-closed: no later operation revives it.
+	if f.Step(history.Credit(10)) {
+		t.Fatal("dead frontier revived")
+	}
+	if f.Size() != 0 {
+		t.Fatalf("dead frontier size = %d", f.Size())
+	}
+}
+
+func TestFrontierMemoMatchesUnmemoized(t *testing.T) {
+	// A cyclic workload revisits state classes, so the memo actually
+	// hits; both checkers must agree on every prefix.
+	var h history.History
+	for i := 0; i < 12; i++ {
+		h = append(h, history.Credit(1), history.DebitOk(1))
+	}
+	plain := NewFrontier(counter())
+	memo := NewFrontier(counter())
+	memo.EnableMemo(8)
+	for i, op := range h {
+		pa, ma := plain.Step(op), memo.Step(op)
+		if pa != ma {
+			t.Fatalf("step %d: plain alive=%v, memoized alive=%v", i+1, pa, ma)
+		}
+		if plain.Key() != memo.Key() {
+			t.Fatalf("step %d: plain key %q, memoized key %q", i+1, plain.Key(), memo.Key())
+		}
+	}
+}
+
+func TestFrontierKeyStable(t *testing.T) {
+	f := NewFrontier(chaos())
+	f.Step(history.Enq(1))
+	k1 := f.Key()
+	k2 := f.Key() // cached
+	if k1 != k2 {
+		t.Fatalf("Key not stable: %q vs %q", k1, k2)
+	}
+	g := NewFrontier(chaos())
+	g.Step(history.Enq(1))
+	if g.Key() != k1 {
+		t.Fatalf("equal frontiers, different keys: %q vs %q", g.Key(), k1)
+	}
+}

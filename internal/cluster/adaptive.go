@@ -74,9 +74,20 @@ func (c *Cluster) Adaptive(home int, levels []Level, opts resilience.Options, en
 		engine: engine,
 		rng:    rng,
 		policy: opts.Policy,
-		ctrl:   resilience.NewController(cfg),
 		levels: append([]Level(nil), levels...),
 	}
+	// Every controller transition — descend on a failure streak, ascend
+	// on a probe hit — is a claim that subsequent history is explained
+	// by the target rung's lattice level; forward each to the audit's
+	// claim observer (chaining any watcher the caller installed).
+	user := cfg.Watcher
+	cfg.Watcher = func(tr resilience.Transition) {
+		c.observeClaim(a.cl, a.levels[tr.To].Name)
+		if user != nil {
+			user(tr)
+		}
+	}
+	a.ctrl = resilience.NewController(cfg)
 	if cfg.ProbeEvery > 0 {
 		engine.Every(
 			func() float64 { return a.rng.Jitter(cfg.ProbeEvery, a.policy.Jitter) },

@@ -72,6 +72,11 @@ type Config struct {
 	// cluster-owned Lamport clock that witnesses every log timestamp and
 	// ticks once per recorded transition.
 	Clock obs.Clock
+	// Audit, when set, receives every completed operation on the
+	// observation path (and, if it implements ClaimObserver, every
+	// adaptive degradation claim) — the attachment point for online
+	// relaxation checking. See the Audit interface for the contract.
+	Audit Audit
 }
 
 // Cluster is the simulated replicated object.
@@ -86,6 +91,30 @@ type Cluster struct {
 	observed history.History  // guarded by mu
 	nextID   int              // guarded by mu
 	ltime    obs.Logical      // default trace clock; ticked only under mu
+
+	// View-evaluation cache (fold mode only): η of recently evaluated
+	// views. A client's next view usually extends a previous one by a
+	// single entry (new entries carry fresh maximal timestamps, so
+	// appends never reorder), and then η of the new view is one fold
+	// step from the cached states instead of a full O(|view|) replay —
+	// the difference between O(n²) and O(n) total work on a 10k-op soak.
+	// Multiple slots track the divergent log lineages a partition
+	// creates (one per network component); replacement is round-robin,
+	// so cache behavior — like everything else under mu — is
+	// deterministic.
+	viewCache [viewCacheSlots]viewEntry // guarded by mu
+	viewNext  int                       // guarded by mu; round-robin victim
+}
+
+// viewCacheSlots bounds the view-evaluation cache: comfortably more
+// lineages than a minority partition of a small cluster can create.
+const viewCacheSlots = 8
+
+// viewEntry is one cached (view, η(view)) pair; states == nil marks a
+// free slot.
+type viewEntry struct {
+	log    quorum.Log
+	states []value.Value
 }
 
 // New builds a cluster with all sites up and fully connected. It
@@ -390,6 +419,9 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 	// mu) appends, so amortized growth never aliases a caller's snapshot.
 	c.observed = append(c.observed, op)
 	metrics.Counter("cluster.execute.ok." + inv.Name).Add(1)
+	if c.cfg.Audit != nil {
+		c.cfg.Audit.ObserveOp(op)
+	}
 	return op, nil
 }
 
@@ -397,10 +429,37 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 //
 //lint:ignore lock-guard caller holds mu (every call site is under Lock)
 func (c *Cluster) evalView(view quorum.Log) []value.Value {
-	if c.fold != nil {
-		return c.fold.EvalLog(view)
+	if c.fold == nil {
+		return c.eval(view.History())
 	}
-	return c.eval(view.History())
+	// Fold from the cached view with the longest prefix of this one
+	// (lowest slot wins ties, keeping the scan deterministic).
+	best := -1
+	for i, e := range c.viewCache {
+		if e.states == nil || !view.HasPrefix(e.log) {
+			continue
+		}
+		if best < 0 || e.log.Len() > c.viewCache[best].log.Len() {
+			best = i
+		}
+	}
+	var states []value.Value
+	if best >= 0 {
+		states = c.fold.EvalLogFrom(c.viewCache[best].states, view, c.viewCache[best].log.Len())
+	} else {
+		states = c.fold.EvalLog(view)
+	}
+	if len(states) > 0 {
+		// Advance the matched lineage in place; a miss claims the next
+		// round-robin victim so each partition component keeps a slot.
+		slot := best
+		if slot < 0 {
+			slot = c.viewNext
+			c.viewNext = (c.viewNext + 1) % viewCacheSlots
+		}
+		c.viewCache[slot] = viewEntry{log: view, states: states}
+	}
+	return states
 }
 
 func hasQuorum(v quorum.Assignment, op string, reachable []int, sites int) bool {

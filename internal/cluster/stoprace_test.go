@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"testing"
+
+	"relaxlattice/internal/sim"
+)
+
+// TestFaultProcessStopRaces pins every same-tick interleaving of Stop()
+// against a scheduled crash or repair event. The engine fires events at
+// equal times FIFO by insertion sequence, so which side of the tie Stop
+// lands on is controlled by *when* it was scheduled — and both sides
+// must converge to the same safe end state: Repairs == Crashes, every
+// site up, no injection after Stop, and an eventually empty queue.
+//
+// A twin RNG with the process's seed predicts the schedule: Start draws
+// one Exp(MTTF) per site in site order, and the earliest crash draws
+// its Exp(MTTR) as the next sample (the seed is chosen so the repair
+// lands before any second crash, keeping the draw order unambiguous).
+func TestFaultProcessStopRaces(t *testing.T) {
+	const (
+		seed  = 2
+		mttf  = 100.0
+		mttr  = 5.0
+		sites = 3
+	)
+	tw := sim.NewRNG(seed)
+	crash := []float64{tw.Exp(mttf), tw.Exp(mttf), tw.Exp(mttf)}
+	first, second := crash[0], crash[1]
+	if second < first {
+		first, second = second, first
+	}
+	if crash[2] < first {
+		first, second = crash[2], first
+	} else if crash[2] < second {
+		second = crash[2]
+	}
+	repair := first + tw.Exp(mttr)
+	if repair >= second {
+		t.Fatalf("seed %d: second crash %g inside the first repair window (repair %g)", seed, second, repair)
+	}
+
+	cases := []struct {
+		name string
+		// setup arms Stop relative to Start; insertion order decides
+		// the same-tick FIFO winner.
+		setup func(e *sim.Engine, f *FaultProcess)
+		// tick is the contested simulation time.
+		tick        float64
+		wantCrashes int
+		// wantPending counts queued events just after the contested
+		// tick (surviving crash no-ops, in-flight repairs, reschedules).
+		wantPending int
+	}{
+		{
+			// Stop inserted before Start: lower sequence, fires first,
+			// and the crash sharing its tick must be a no-op.
+			name: "stop-before-crash",
+			setup: func(e *sim.Engine, f *FaultProcess) {
+				e.At(first, f.Stop)
+				f.Start()
+			},
+			tick:        first,
+			wantCrashes: 0,
+			wantPending: 2, // the two other sites' crash no-ops
+		},
+		{
+			// Stop inserted after Start: the crash fires first, then
+			// Stop — the crash still counts and its repair still runs.
+			name: "stop-after-crash",
+			setup: func(e *sim.Engine, f *FaultProcess) {
+				f.Start()
+				e.At(first, f.Stop)
+			},
+			tick:        first,
+			wantCrashes: 1,
+			wantPending: 3, // two crash no-ops + the in-flight repair
+		},
+		{
+			// Stop fires just before the repair at the same tick: the
+			// repair must still restore the site (and not reschedule).
+			name: "stop-before-repair",
+			setup: func(e *sim.Engine, f *FaultProcess) {
+				e.At(repair, f.Stop)
+				f.Start()
+			},
+			tick:        repair,
+			wantCrashes: 1,
+			wantPending: 2, // only the two other sites' crash no-ops
+		},
+		{
+			// Stop fires just after the repair: the repair reschedules
+			// the site's next crash, which must later no-op.
+			name: "stop-after-repair",
+			setup: func(e *sim.Engine, f *FaultProcess) {
+				f.Start()
+				// The repair closure is inserted at the crash tick, so
+				// scheduling Stop from a midpoint event gives it the
+				// higher sequence number at the repair tick.
+				e.At((first+repair)/2, func() { e.At(repair, f.Stop) })
+			},
+			tick:        repair,
+			wantCrashes: 1,
+			wantPending: 3, // two crash no-ops + the rescheduled crash
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			c := taxiCluster(t, sites, "Q1Q2")
+			var engine sim.Engine
+			f := NewFaultProcess(c, &engine, sim.NewRNG(seed), FaultConfig{MTTF: mttf, MTTR: mttr})
+			tc.setup(&engine, f)
+
+			engine.Run(tc.tick) // includes everything at the contested tick
+			if f.Crashes != tc.wantCrashes {
+				t.Fatalf("crashes at tick = %d, want %d (%s)", f.Crashes, tc.wantCrashes, f)
+			}
+			if engine.Pending() != tc.wantPending {
+				t.Fatalf("pending after tick = %d, want %d (%s)", engine.Pending(), tc.wantPending, f)
+			}
+
+			// Drain: every surviving event is a no-op, the cluster ends
+			// fully healed, and injection stays frozen.
+			engine.Run(1e9)
+			if f.Crashes != tc.wantCrashes || f.Repairs != tc.wantCrashes {
+				t.Fatalf("after drain: %s, want crashes=repairs=%d", f, tc.wantCrashes)
+			}
+			if c.UpSites() != sites {
+				t.Fatalf("%d sites up after drain, want %d", c.UpSites(), sites)
+			}
+			if engine.Pending() != 0 {
+				t.Fatalf("%d events pending after drain", engine.Pending())
+			}
+		})
+	}
+}

@@ -46,6 +46,10 @@ type Config struct {
 	// and -hedge flags feed this). A zero Policy falls back to
 	// resilience.DefaultOptions.
 	Resilience resilience.Options
+	// SoakOps and SoakClients size the X06 online-checking soak sweep
+	// (relaxctl's -soak-ops and -soak-clients flags). Non-positive
+	// values take the X06 defaults.
+	SoakOps, SoakClients int
 }
 
 // Default returns the configuration used for EXPERIMENTS.md. The
@@ -55,11 +59,13 @@ type Config struct {
 // of histories.
 func Default() Config {
 	return Config{
-		Seed:       1987, // the paper's year; any seed works
-		Bound:      core.Bound{MaxElem: 2, MaxLen: 8},
-		Trials:     200000,
-		Sites:      5,
-		Resilience: resilience.DefaultOptions(),
+		Seed:        1987, // the paper's year; any seed works
+		Bound:       core.Bound{MaxElem: 2, MaxLen: 8},
+		Trials:      200000,
+		Sites:       5,
+		Resilience:  resilience.DefaultOptions(),
+		SoakOps:     800,
+		SoakClients: 40,
 	}
 }
 

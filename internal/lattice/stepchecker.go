@@ -1,0 +1,143 @@
+package lattice
+
+import (
+	"sort"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+)
+
+// StepChecker tracks an execution's position in a relaxation lattice
+// online, one operation at a time, by maintaining an automaton.Frontier
+// per element of φ's domain. It computes exactly what
+// Relaxation.WeakestAccepting computes on every prefix — the maximal
+// constraint sets whose behavior accepts the history so far — but
+// incrementally: each Step is amortized O(Σ frontier sizes) instead of
+// replaying the full history through every automaton.
+//
+// StepChecker subsumes Monitor for production checking: it keeps the
+// domain in a deterministic slice (no map iteration), exposes frontier
+// statistics for observability, and can memoize recurring state-class
+// transitions via the exploration engine's canonical set keys.
+//
+// A StepChecker is not safe for concurrent use; callers serialize
+// Steps (internal/relaxcheck wraps one in a mutex for live audits).
+type StepChecker struct {
+	lat    *Relaxation
+	sets   []Set                 // φ's domain, strongest first; parallel to fronts
+	fronts []*automaton.Frontier // nil once the element is dead
+	alive  int
+	length int
+	peak   int // largest single-element frontier seen
+}
+
+// NewStepChecker starts a checker at the empty history (every element
+// of φ's domain viable). memoCap > 0 enables per-element transition
+// memoization with that entry cap (see automaton.Frontier.EnableMemo);
+// it pays off on lattices of finite-state automata with short state
+// keys and should stay off for bag/sequence-valued specs.
+func NewStepChecker(lat *Relaxation, memoCap int) *StepChecker {
+	domain := lat.Domain()
+	c := &StepChecker{
+		lat:    lat,
+		sets:   domain,
+		fronts: make([]*automaton.Frontier, len(domain)),
+		alive:  len(domain),
+		peak:   1,
+	}
+	for i, s := range domain {
+		a, _ := lat.Phi(s)
+		c.fronts[i] = automaton.NewFrontier(a)
+		if memoCap > 0 {
+			c.fronts[i].EnableMemo(memoCap)
+		}
+	}
+	return c
+}
+
+// Step advances every viable lattice element by one operation
+// execution. It returns true while at least one element still accepts
+// the history; elements that reject are discarded permanently
+// (prefix-closed languages never recover).
+func (c *StepChecker) Step(op history.Op) bool {
+	c.length++
+	for i, f := range c.fronts {
+		if f == nil {
+			continue
+		}
+		if !f.Step(op) {
+			c.fronts[i] = nil
+			c.alive--
+			continue
+		}
+		if f.Size() > c.peak {
+			c.peak = f.Size()
+		}
+	}
+	return c.alive > 0
+}
+
+// StepAll feeds a whole history, returning false at the first
+// operation that kills every element (remaining operations are not
+// consumed).
+func (c *StepChecker) StepAll(h history.History) bool {
+	for _, op := range h {
+		if !c.Step(op) {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of operations fed.
+func (c *StepChecker) Len() int { return c.length }
+
+// Alive returns how many lattice elements still accept the history.
+func (c *StepChecker) Alive() int { return c.alive }
+
+// Viable reports whether element s still accepts the history.
+func (c *StepChecker) Viable(s Set) bool {
+	for i, t := range c.sets {
+		if t == s {
+			return c.fronts[i] != nil
+		}
+	}
+	return false
+}
+
+// Current returns the maximal viable constraint sets — identical, on
+// every prefix, to Relaxation.WeakestAccepting of that prefix (nil
+// when nothing in the lattice accepts the history).
+func (c *StepChecker) Current() []Set {
+	var maximal []Set
+	for i, s := range c.sets {
+		if c.fronts[i] == nil {
+			continue
+		}
+		dominated := false
+		for j, t := range c.sets {
+			if c.fronts[j] != nil && s != t && s.SubsetOf(t) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			maximal = append(maximal, s)
+		}
+	}
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i] < maximal[j] })
+	return maximal
+}
+
+// Degraded reports whether the preferred behavior (the lattice top)
+// has been lost.
+func (c *StepChecker) Degraded() bool {
+	return !c.Viable(c.lat.Universe.All())
+}
+
+// MaxFrontier returns the largest per-element frontier size seen so
+// far — the constant in the checker's O(frontier) step cost.
+func (c *StepChecker) MaxFrontier() int { return c.peak }
+
+// Lattice returns the relaxation the checker runs against.
+func (c *StepChecker) Lattice() *Relaxation { return c.lat }

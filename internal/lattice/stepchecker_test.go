@@ -1,0 +1,150 @@
+package lattice_test
+
+import (
+	"testing"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/sim"
+)
+
+// sameSets compares two maximal-set slices (both sorted ascending).
+func sameSets(a, b []lattice.Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAllPrefixes feeds h one op at a time and asserts the checker's
+// Current equals WeakestAccepting of every prefix.
+func checkAllPrefixes(t *testing.T, lat *lattice.Relaxation, h history.History, memoCap int) {
+	t.Helper()
+	sc := lattice.NewStepChecker(lat, memoCap)
+	if want, ok := lat.WeakestAccepting(nil); !ok || !sameSets(sc.Current(), want) {
+		t.Fatalf("empty history: checker %v, offline %v (ok=%v)", sc.Current(), want, ok)
+	}
+	for i, op := range h {
+		alive := sc.Step(op)
+		prefix := h[:i+1]
+		want, ok := lat.WeakestAccepting(prefix)
+		if alive != ok {
+			t.Fatalf("%s prefix %v: checker alive=%v, offline ok=%v", lat.Name, prefix, alive, ok)
+		}
+		if !sameSets(sc.Current(), want) {
+			t.Fatalf("%s prefix %v: checker %v, offline %v", lat.Name, prefix, sc.Current(), want)
+		}
+		if sc.Len() != i+1 {
+			t.Fatalf("Len = %d after %d ops", sc.Len(), i+1)
+		}
+		if !alive {
+			return
+		}
+	}
+}
+
+func TestStepCheckerMatchesWeakestAcceptingTable(t *testing.T) {
+	taxi := [][]history.Op{
+		{},
+		{history.Enq(3), history.Enq(1), history.DeqOk(1)},
+		{history.Enq(3), history.Enq(1), history.DeqOk(3)},   // passes over priority 1
+		{history.Enq(2), history.DeqOk(2), history.DeqOk(2)}, // duplicate delivery
+		{history.DeqOk(7)}, // phantom
+		{history.Enq(1), history.Enq(2), history.DeqOk(2), history.DeqOk(2)}, // duplicate after reorder
+	}
+	for _, h := range taxi {
+		checkAllPrefixes(t, core.TaxiSimpleLattice(), h, 0)
+		checkAllPrefixes(t, core.TaxiSimpleLattice(), h, 128)
+	}
+	spool := [][]history.Op{
+		{history.Enq(1), history.Enq(2), history.DeqOk(1), history.DeqOk(2)},
+		{history.Enq(1), history.Enq(2), history.Enq(3), history.DeqOk(3)}, // 2-overtake
+		{history.Enq(1), history.DeqOk(1), history.DeqOk(1)},
+	}
+	for _, h := range spool {
+		checkAllPrefixes(t, core.SemiqueueLattice(3), h, 0)
+		checkAllPrefixes(t, core.StutteringLattice(3), h, 0)
+	}
+}
+
+func TestStepCheckerMatchesWeakestAcceptingRandom(t *testing.T) {
+	lats := []func() *lattice.Relaxation{
+		core.TaxiSimpleLattice,
+		func() *lattice.Relaxation { return core.SemiqueueLattice(2) },
+		func() *lattice.Relaxation { return core.StutteringLattice(2) },
+	}
+	rng := sim.NewRNG(42)
+	alphabet := history.QueueAlphabet(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		h := make(history.History, 0, n)
+		for i := 0; i < n; i++ {
+			h = append(h, alphabet[rng.Intn(len(alphabet))])
+		}
+		for _, mk := range lats {
+			checkAllPrefixes(t, mk(), h, 0)
+		}
+	}
+}
+
+func TestStepCheckerAgreesWithMonitor(t *testing.T) {
+	h := history.History{history.Enq(3), history.Enq(1), history.DeqOk(3), history.DeqOk(3)}
+	lat := core.TaxiSimpleLattice()
+	m := lattice.NewMonitor(lat)
+	sc := lattice.NewStepChecker(lat, 0)
+	for _, op := range h {
+		m.Feed(op)
+		sc.Step(op)
+	}
+	if got, want := sc.Current(), m.Current(); !sameSets(got, want) {
+		t.Fatalf("checker %v, monitor %v", got, want)
+	}
+	if sc.Degraded() != m.Degraded() {
+		t.Fatalf("Degraded: checker %v, monitor %v", sc.Degraded(), m.Degraded())
+	}
+}
+
+func TestStepCheckerViableAndAlive(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	sc := lattice.NewStepChecker(lat, 0)
+	u := lat.Universe
+	if !sc.Viable(u.All()) || sc.Degraded() {
+		t.Fatal("fresh checker already degraded")
+	}
+	// Duplicate delivery kills everything except sets without Q2.
+	sc.StepAll(history.History{history.Enq(2), history.DeqOk(2), history.DeqOk(2)})
+	if sc.Viable(u.All()) {
+		t.Fatal("duplicate delivery left the top viable")
+	}
+	if !sc.Degraded() {
+		t.Fatal("Degraded false after losing the top")
+	}
+	if sc.Alive() == 0 {
+		t.Fatal("whole lattice dead on a DegenPQ-legal history")
+	}
+	if sc.MaxFrontier() < 1 {
+		t.Fatalf("MaxFrontier = %d", sc.MaxFrontier())
+	}
+}
+
+func TestStepCheckerStepAllStopsAtDeath(t *testing.T) {
+	// A phantom dequeue from empty kills every taxi element at step 1.
+	lat := core.TaxiSimpleLattice()
+	sc := lattice.NewStepChecker(lat, 0)
+	h := history.History{history.DeqOk(9), history.Enq(1)}
+	if sc.StepAll(h) {
+		t.Fatal("phantom dequeue accepted")
+	}
+	if sc.Len() != 1 {
+		t.Fatalf("StepAll consumed %d ops past death", sc.Len())
+	}
+	if sc.Current() != nil {
+		t.Fatalf("dead checker Current = %v", sc.Current())
+	}
+}

@@ -62,12 +62,13 @@ type Config struct {
 	SpecPaths []string
 }
 
-// DefaultConfig returns the repository's rule scoping: the eight
+// DefaultConfig returns the repository's rule scoping: the nine
 // model-layer packages (including the observability substrate, whose
-// logical-clock journal must itself stay wall-clock-free, and the
+// logical-clock journal must itself stay wall-clock-free; the
 // resilience layer, whose retry timing and jitter must come from the
-// simulated clock and injected RNG alone) and the specification
-// catalog.
+// simulated clock and injected RNG alone; and the online relaxation
+// checker, whose verdicts certify byte-identical soak replays) and the
+// specification catalog.
 func DefaultConfig() Config {
 	return Config{
 		ModelPaths: []string{
@@ -79,6 +80,7 @@ func DefaultConfig() Config {
 			"internal/quorum",
 			"internal/obs",
 			"internal/resilience",
+			"internal/relaxcheck",
 		},
 		SpecPaths: []string{"internal/specs"},
 	}

@@ -280,3 +280,18 @@ func AccountFold() *FoldEval { return accountFold }
 // sequences: credits add, successful debits subtract, and bounced
 // debits leave the balance unchanged.
 func AccountEval(h history.History) []value.Value { return accountFold.Eval(h) }
+
+// EvalLogFrom resumes a log replay: given states = η of the first
+// `from` entries of l, it folds the remaining entries and returns η of
+// the whole log (nil when the evaluation dies). EvalLogFrom(Init(), l, 0)
+// is EvalLog(l); the incremental form is what lets the cluster
+// re-evaluate a view that grew by one entry in O(1) fold steps.
+func (f *FoldEval) EvalLogFrom(states []value.Value, l Log, from int) []value.Value {
+	for i := from; i < len(l.entries); i++ {
+		states = f.Apply(states, l.entries[i].Op)
+		if len(states) == 0 {
+			return nil
+		}
+	}
+	return states
+}

@@ -51,8 +51,16 @@ func dedup(sorted []Entry) []Entry {
 
 // Append returns the log extended with a new entry (inserted in
 // timestamp order; an entry whose timestamp is already present is
-// discarded as a duplicate).
+// discarded as a duplicate). Appending past the maximal timestamp —
+// every freshly ticked entry — takes one exact-size copy instead of a
+// merge.
 func (l Log) Append(e Entry) Log {
+	if n := len(l.entries); n == 0 || l.entries[n-1].TS.Less(e.TS) {
+		out := make([]Entry, n+1)
+		copy(out, l.entries)
+		out[n] = e
+		return Log{entries: out}
+	}
 	return merge2(l.entries, []Entry{e})
 }
 
@@ -75,10 +83,15 @@ func Merge(logs ...Log) Log {
 }
 
 // containsAll reports whether every timestamp of sub appears in sup
-// (both sorted). Two-pointer walk, no allocation.
+// (both sorted). Two-pointer walk, no allocation. Slices sharing a
+// backing array short-circuit: logs are immutable, so sub starting at
+// sup's first element is literally a prefix of sup.
 func containsAll(sup, sub []Entry) bool {
 	if len(sub) > len(sup) {
 		return false
+	}
+	if len(sub) == 0 || &sup[0] == &sub[0] {
+		return true
 	}
 	j := 0
 	for i := range sub {
@@ -190,4 +203,23 @@ func (l Log) String() string {
 		b.WriteString(e.String())
 	}
 	return b.String()
+}
+
+// HasPrefix reports whether p's entries are exactly the first p.Len()
+// entries of l. Entries are compared by timestamp alone: quorum
+// timestamps are globally unique (each entry is created once, under a
+// fresh Lamport tick), so an equal timestamp implies an equal entry.
+// This is the O(|p|) test behind incremental view evaluation — a view
+// that extends a previously evaluated view can be folded from the
+// cached states instead of replayed from scratch.
+func (l Log) HasPrefix(p Log) bool {
+	if len(p.entries) > len(l.entries) {
+		return false
+	}
+	for i := range p.entries {
+		if l.entries[i].TS != p.entries[i].TS {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,189 @@
+package relaxcheck
+
+import (
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
+)
+
+func TestCheckerExhaustedViolation(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder()
+	var seen *Violation
+	c := New(core.TaxiSimpleLattice(), Options{
+		Metrics:     reg,
+		Trace:       rec,
+		OnViolation: func(v Violation) { seen = &v },
+	})
+	// Phantom dequeue: no taxi lattice element accepts it.
+	c.ObserveOp(history.DeqOk(9))
+	v := c.Violation()
+	if v == nil || v.Kind != KindExhausted || v.Step != 1 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if seen == nil || seen.Kind != KindExhausted {
+		t.Fatalf("OnViolation saw %+v", seen)
+	}
+	if !strings.Contains(v.Error(), "rejected by every lattice element") {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+	if n, _ := reg.Snapshot().Counter("relaxcheck.violation"); n != 1 {
+		t.Fatalf("violation counter = %d", n)
+	}
+	// The violation is sticky: a later op neither replaces it nor fires
+	// the callback again, but still counts in metrics.
+	seen = nil
+	c.ObserveOp(history.Enq(1))
+	if seen != nil {
+		t.Fatal("OnViolation fired twice")
+	}
+	if got := c.Violation(); got.Step != 1 {
+		t.Fatalf("first violation replaced: %+v", got)
+	}
+	if n, _ := reg.Snapshot().Counter("relaxcheck.violation"); n != 2 {
+		t.Fatalf("violation counter after second = %d", n)
+	}
+	found := false
+	for _, e := range rec.Events() {
+		if e.Name == "relaxcheck.violation" {
+			found = true
+			if kind, _ := e.Attr("kind"); kind != KindExhausted {
+				t.Fatalf("journaled kind = %q", kind)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no relaxcheck.violation event journaled")
+	}
+}
+
+func TestCheckerClaimViolationOnClaim(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe)})
+	// Duplicate delivery: drops the level below the top.
+	c.ObserveOp(history.Enq(2))
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveOp(history.DeqOk(2))
+	if c.Violation() != nil {
+		t.Fatalf("violation before any claim: %+v", c.Violation())
+	}
+	// Claiming the top now is a lie — the history already escaped it.
+	c.ObserveClaim(0, "Q1Q2")
+	v := c.Violation()
+	if v == nil || v.Kind != KindClaim {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Error(), "escapes claimed level") {
+		t.Fatalf("Error() = %q", v.Error())
+	}
+}
+
+func TestCheckerClaimViolationOnOp(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe)})
+	c.ObserveClaim(3, "Q1Q2") // claims the top while it still holds
+	c.ObserveOp(history.Enq(2))
+	c.ObserveOp(history.DeqOk(2))
+	if c.Violation() != nil {
+		t.Fatalf("premature violation: %+v", c.Violation())
+	}
+	c.ObserveOp(history.DeqOk(2)) // duplicate delivery escapes the top
+	v := c.Violation()
+	if v == nil || v.Kind != KindClaim || v.Step != 3 {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestCheckerClaimFloorIsIntersection(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe)})
+	c.ObserveClaim(0, "Q1Q2")
+	c.ObserveClaim(1, "Q1")
+	c.ObserveClaim(0, "Q1Q2") // an ascent does not raise the floor back
+	if f := c.FloorClaim(); !strings.HasPrefix(f, "Q1=") {
+		t.Fatalf("FloorClaim = %q", f)
+	}
+	// Duplicate delivery violates Q1 ⊆ level? No: duplicates kill Q2
+	// sets; {Q1} stays viable, so the Q1 floor holds.
+	c.ObserveOp(history.Enq(2))
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveOp(history.DeqOk(2))
+	if c.Violation() != nil {
+		t.Fatalf("Q1 floor violated by a Q1-legal history: %+v", c.Violation())
+	}
+	// A phantom op kills the entire lattice — exhausted beats claim.
+	c.ObserveOp(history.DeqOk(9))
+	if v := c.Violation(); v == nil || v.Kind != KindExhausted {
+		t.Fatalf("violation = %+v", v)
+	}
+}
+
+func TestCheckerUnknownClaimPanics(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown claim level did not panic")
+		}
+	}()
+	c.ObserveClaim(0, "Q9")
+}
+
+func TestCheckerMetricsAndSamples(t *testing.T) {
+	reg := obs.NewRegistry()
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Metrics: reg, SampleEvery: 2})
+	h := history.History{history.Enq(1), history.Enq(2), history.DeqOk(2), history.DeqOk(1)}
+	for _, op := range h {
+		c.ObserveOp(op)
+	}
+	if n, _ := reg.Snapshot().Counter("relaxcheck.step"); n != 4 {
+		t.Fatalf("step counter = %d", n)
+	}
+	if g, ok := reg.Snapshot().Gauge("relaxcheck.frontier.max"); !ok || g < 1 {
+		t.Fatalf("frontier.max gauge = %d (ok=%v)", g, ok)
+	}
+	samples := c.Samples()
+	if len(samples) != 2 || samples[0].Step != 2 || samples[1].Step != 4 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if c.Steps() != 4 {
+		t.Fatalf("Steps = %d", c.Steps())
+	}
+	if c.Degraded() {
+		t.Fatal("PQ-legal history degraded")
+	}
+	if c.Level() == "" || c.Level() == "⊥" {
+		t.Fatalf("Level = %q", c.Level())
+	}
+}
+
+func TestCheckerLevelJournal(t *testing.T) {
+	rec := obs.NewRecorder()
+	lat := core.TaxiSimpleLattice()
+	c := New(lat, Options{Trace: rec})
+	// PQ-legal prefix: no level change events.
+	c.ObserveOp(history.Enq(1))
+	c.ObserveOp(history.DeqOk(1))
+	for _, e := range rec.Events() {
+		if e.Name == "relaxcheck.level" {
+			t.Fatalf("level event on an undegraded run: %+v", e)
+		}
+	}
+	// Duplicate delivery: the level drops, and exactly one event records it.
+	c.ObserveOp(history.Enq(2))
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveOp(history.DeqOk(2))
+	levels := 0
+	for _, e := range rec.Events() {
+		if e.Name == "relaxcheck.level" {
+			levels++
+		}
+	}
+	if levels != 1 {
+		t.Fatalf("%d level events, want 1", levels)
+	}
+}

@@ -1,0 +1,42 @@
+package relaxcheck
+
+import (
+	"testing"
+
+	"relaxlattice/internal/history"
+)
+
+// decodeHistory maps fuzzer bytes onto a bounded queue history: each
+// byte selects one operation of the alphabet. The length cap keeps the
+// offline WeakestAccepting replays (exponential in principle) cheap.
+func decodeHistory(data []byte) history.History {
+	alphabet := history.QueueAlphabet(3)
+	if len(data) > maxDiffLen {
+		data = data[:maxDiffLen]
+	}
+	h := make(history.History, 0, len(data))
+	for _, b := range data {
+		h = append(h, alphabet[int(b)%len(alphabet)])
+	}
+	return h
+}
+
+// FuzzStepCheckerMatchesOffline is the fuzz face of the differential
+// battery: on fuzzer-chosen histories — legal or not — the online
+// checker's per-prefix verdict must equal the offline WeakestAccepting
+// replay for every lattice under test, with and without transition
+// memoization.
+func FuzzStepCheckerMatchesOffline(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 3})
+	f.Add([]byte{0, 1, 4, 3})
+	f.Add([]byte{1, 1, 5, 5})
+	f.Add([]byte{4, 0, 2, 3, 1, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := decodeHistory(data)
+		for _, lat := range diffLattices() {
+			assertOnlineMatchesOffline(t, lat, h, 0)
+			assertOnlineMatchesOffline(t, lat, h, 64)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package relaxcheck
+
+import (
+	"testing"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/sim"
+)
+
+// finalVerdict feeds h through a fresh checker and returns its final
+// verdict (nil sets mean the lattice is exhausted).
+func finalVerdict(lat *lattice.Relaxation, h history.History) ([]lattice.Set, string) {
+	c := New(lat, Options{})
+	for _, op := range h {
+		c.ObserveOp(op)
+	}
+	return c.Current(), c.Level()
+}
+
+// enqEnqPairs returns the indices i where h[i] and h[i+1] are both
+// enqueues — the adjacent pairs that commute under every taxi behavior
+// (all four share bag-valued states, and enqueues only add to the bag,
+// so swapping two adjacent enqueues reaches the same bag through states
+// that differ only between the pair).
+func enqEnqPairs(h history.History) []int {
+	var pos []int
+	for i := 0; i+1 < len(h); i++ {
+		if h[i].Name == history.NameEnq && h[i+1].Name == history.NameEnq {
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+func swapped(h history.History, i int) history.History {
+	out := make(history.History, len(h))
+	copy(out, h)
+	out[i], out[i+1] = out[i+1], out[i]
+	return out
+}
+
+// TestMetamorphicEnqCommute is the metamorphic property over random
+// histories: swapping any adjacent pair of enqueues never changes the
+// reported level. (Scoped to the bag-based taxi lattice — for the
+// sequence-valued spooler lattices even Enq-Enq order is observable.)
+func TestMetamorphicEnqCommute(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	rng := sim.NewRNG(23)
+	alphabet := history.QueueAlphabet(4)
+	trials := 0
+	for trials < 200 {
+		n := 2 + rng.Intn(10)
+		h := make(history.History, 0, n)
+		for i := 0; i < n; i++ {
+			h = append(h, alphabet[rng.Intn(len(alphabet))])
+		}
+		pairs := enqEnqPairs(h)
+		if len(pairs) == 0 {
+			continue
+		}
+		trials++
+		baseSets, baseLevel := finalVerdict(lat, h)
+		for _, i := range pairs {
+			gotSets, gotLevel := finalVerdict(lat, swapped(h, i))
+			if !sameSets(gotSets, baseSets) || gotLevel != baseLevel {
+				t.Fatalf("swap at %d changed verdict: %v (%s) vs %v (%s)\nhistory %v",
+					i, gotSets, gotLevel, baseSets, baseLevel, h)
+			}
+		}
+	}
+}
+
+// TestMetamorphicSoakEnqCommute applies the same property to a real
+// soak run's audited history: re-checking the observed history with any
+// adjacent enqueue pair swapped reports the same final level the live
+// run did.
+func TestMetamorphicSoakEnqCommute(t *testing.T) {
+	report, err := RunClusterSoak(ClusterSoakConfig{
+		Workload: Workload{Kind: Uniform, Clients: 20, Ops: 300},
+		Seed:     42,
+		Faults:   soakFaults(),
+	})
+	if err != nil {
+		t.Fatalf("soak failed: %v", err)
+	}
+	lat := core.TaxiSimpleLattice()
+	pairs := enqEnqPairs(report.Observed)
+	if len(pairs) == 0 {
+		t.Fatal("observed history has no adjacent enqueue pairs")
+	}
+	for _, i := range pairs {
+		gotSets, gotLevel := finalVerdict(lat, swapped(report.Observed, i))
+		if !sameSets(gotSets, report.Sets) || gotLevel != report.Level {
+			t.Fatalf("swap at %d changed verdict: %v (%s) vs run's %v (%s)",
+				i, gotSets, gotLevel, report.Sets, report.Level)
+		}
+	}
+}

@@ -27,6 +27,12 @@ type ControllerConfig struct {
 	// ProbeEvery time units (jittered by the policy's Jitter), so an
 	// idle degraded client still climbs back once faults heal.
 	ProbeEvery float64
+	// Watcher, when set, observes every ladder transition at the moment
+	// it is recorded — the hook adapters use to cross-check the claimed
+	// degradation floor against an online relaxation checker on each
+	// descent and ascent. It is called synchronously from
+	// OnFailure/Probe and must not call back into the controller.
+	Watcher func(Transition)
 }
 
 // DefaultControllerConfig returns the controller tuning used for
@@ -146,8 +152,16 @@ func (c *Controller) OnFailure() (int, bool) {
 	if c.level > c.floor {
 		c.floor = c.level
 	}
-	c.transitions = append(c.transitions, Transition{From: from, To: c.level, Reason: "descend"})
+	c.record(Transition{From: from, To: c.level, Reason: "descend"})
 	return c.level, true
+}
+
+// record appends one transition and notifies the watcher.
+func (c *Controller) record(t Transition) {
+	c.transitions = append(c.transitions, t)
+	if c.cfg.Watcher != nil {
+		c.cfg.Watcher(t)
+	}
 }
 
 // Probe attempts to ascend: available must report whether the client
@@ -172,7 +186,7 @@ func (c *Controller) Probe(available func(level int) bool) (int, bool) {
 			from := c.level
 			c.level = lvl
 			c.failStreak = 0
-			c.transitions = append(c.transitions, Transition{From: from, To: lvl, Reason: "ascend"})
+			c.record(Transition{From: from, To: lvl, Reason: "ascend"})
 			return lvl, true
 		}
 	}

@@ -112,6 +112,70 @@ func TestControllerTransitionLog(t *testing.T) {
 	}
 }
 
+// The Watcher hook fires synchronously on every recorded transition —
+// and only on transitions, so an observer (like the soak harness's
+// claim cross-check) sees exactly the ladder moves, at the moment the
+// controller's own state already reflects them.
+func TestControllerWatcherSeesEveryTransition(t *testing.T) {
+	var seen []Transition
+	var levelAtCall []int
+	var c *Controller
+	c = NewController(ControllerConfig{
+		Levels:       3,
+		DescendAfter: 2,
+		AscendAfter:  2,
+		Watcher: func(tr Transition) {
+			seen = append(seen, tr)
+			levelAtCall = append(levelAtCall, c.Level())
+		},
+	})
+	// One failure short of a streak: no call.
+	c.OnFailure()
+	if len(seen) != 0 {
+		t.Fatalf("watcher fired without a transition: %v", seen)
+	}
+	c.OnFailure() // descend 0→1
+	c.OnFailure()
+	c.OnFailure() // descend 1→2
+	c.OnSuccess()
+	if !c.OnSuccess() {
+		t.Fatal("no probe signal after success streak")
+	}
+	c.Probe(func(int) bool { return true }) // ascend 2→0 (hedge default 1 → to 1)
+	want := []Transition{
+		{From: 0, To: 1, Reason: "descend"},
+		{From: 1, To: 2, Reason: "descend"},
+		{From: 2, To: 1, Reason: "ascend"},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("watcher saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("watcher call %d = %v, want %v", i, seen[i], want[i])
+		}
+		// Synchronous and post-state: the controller already sits at To.
+		if levelAtCall[i] != want[i].To {
+			t.Errorf("call %d saw level %d, want %d", i, levelAtCall[i], want[i].To)
+		}
+	}
+	// The watcher stream and the transition log agree.
+	got := c.Transitions()
+	for i := range got {
+		if got[i] != seen[i] {
+			t.Errorf("log %d = %v, watcher saw %v", i, got[i], seen[i])
+		}
+	}
+	// A failed probe records (and reports) nothing.
+	before := len(seen)
+	c.OnSuccess()
+	c.OnSuccess()
+	c.Probe(func(int) bool { return false })
+	if len(seen) != before {
+		t.Fatalf("watcher fired on a failed probe: %v", seen[before:])
+	}
+}
+
 func TestControllerConfigDefaultsAndPanics(t *testing.T) {
 	c := NewController(ControllerConfig{Levels: 1})
 	cfg := c.Config()

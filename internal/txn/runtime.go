@@ -106,10 +106,46 @@ type Queue struct {
 	nextID    ID
 	// concurrentDeqHigh tracks the high-water mark of simultaneously
 	// active dequeuing transactions — the C_k position in the lattice of
-	// constraints (Section 4.2).
+	// constraints (Section 4.2). deqActive is the incremental form of
+	// "active transactions with at least one Deq executed": membership
+	// changes only at a transaction's first Deq and at its commit/abort,
+	// so the high-water mark costs O(1) per operation instead of a full
+	// schedule scan.
 	concurrentDeqHigh int
+	deqActive         map[ID]bool
 	reg               *obs.Registry // optional; nil-safe (see Observe)
 	rec               *obs.Recorder // optional; nil-safe
+	// audit, when set, receives the committed serialized history (the
+	// order HybridAtomic serializes in): at each commit, the committing
+	// transaction's operations in execution order.
+	audit Audit
+	// txnOps buffers each active transaction's operations for the
+	// audit; maintained only while audit != nil.
+	txnOps map[ID]history.History
+}
+
+// Audit observes the queue's committed serialized history: at each
+// Commit(t), t's operations in execution order — exactly the extension
+// of the history that HybridAtomic checks against the spool lattice
+// (committed transactions serialize in commit order). An online
+// relaxation checker implements this to certify, live, that the queue
+// stays at its claimed Semiqueue_k / Stuttering_j level.
+//
+// ObserveOp is called synchronously from Commit at deterministic
+// points of the logical runtime; implementations must not call back
+// into the Queue.
+type Audit interface {
+	ObserveOp(op history.Op)
+}
+
+// AttachAudit attaches an online audit to the committed serialized
+// history. It must be called before any transaction begins (the audit
+// would otherwise miss buffered operations); attaching nil detaches.
+func (q *Queue) AttachAudit(a Audit) {
+	q.audit = a
+	if a != nil && q.txnOps == nil {
+		q.txnOps = map[ID]history.History{}
+	}
 }
 
 // NewQueue builds an empty queue with the given strategy.
@@ -120,9 +156,10 @@ func NewQueue(strategy Strategy) *Queue {
 		panic(fmt.Sprintf("txn: unknown strategy %d", int(strategy)))
 	}
 	return &Queue{
-		strategy: strategy,
-		pending:  map[ID][]*entry{},
-		status:   map[ID]Status{},
+		strategy:  strategy,
+		pending:   map[ID][]*entry{},
+		status:    map[ID]Status{},
+		deqActive: map[ID]bool{},
 	}
 }
 
@@ -150,7 +187,9 @@ func (q *Queue) Enq(t ID, e value.Elem) error {
 		return err
 	}
 	q.pending[t] = append(q.pending[t], &entry{elem: e})
-	q.schedule = q.schedule.Append(Step(t, history.Enq(int(e))))
+	op := history.Enq(int(e))
+	q.schedule = append(q.schedule, Step(t, op))
+	q.buffer(t, op)
 	q.bumpConcurrency()
 	q.count("txn.enq")
 	return nil
@@ -189,7 +228,10 @@ func (q *Queue) Deq(t ID) (value.Elem, error) {
 			}
 		}
 		en.deqBy = append(en.deqBy, t)
-		q.schedule = q.schedule.Append(Step(t, history.DeqOk(int(en.elem))))
+		op := history.DeqOk(int(en.elem))
+		q.schedule = append(q.schedule, Step(t, op))
+		q.buffer(t, op)
+		q.deqActive[t] = true
 		q.bumpConcurrency()
 		q.count("txn.deq")
 		return en.elem, nil
@@ -214,9 +256,18 @@ func (q *Queue) Commit(t ID) error {
 	delete(q.pending, t)
 	q.compact()
 	q.status[t] = StatusCommitted
-	q.schedule = q.schedule.Append(Commit(t))
+	delete(q.deqActive, t)
+	q.schedule = append(q.schedule, Commit(t))
 	q.count("txn.commit")
 	q.event("txn.commit", txnAttr(t))
+	if q.audit != nil {
+		// Commit order is serialization order (hybrid atomicity), so
+		// the committed serialized history extends by exactly t's ops.
+		for _, op := range q.txnOps[t] {
+			q.audit.ObserveOp(op)
+		}
+		delete(q.txnOps, t)
+	}
 	return nil
 }
 
@@ -231,7 +282,9 @@ func (q *Queue) AbortTxn(t ID) error {
 		en.deqBy = removeID(en.deqBy, t)
 	}
 	q.status[t] = StatusAborted
-	q.schedule = q.schedule.Append(Abort(t))
+	delete(q.deqActive, t)
+	delete(q.txnOps, t)
+	q.schedule = append(q.schedule, Abort(t))
 	q.count("txn.abort")
 	q.event("txn.abort", txnAttr(t))
 	return nil
@@ -271,25 +324,17 @@ func (q *Queue) compact() {
 }
 
 func (q *Queue) bumpConcurrency() {
-	n := len(q.activeDequeuers())
-	if n > q.concurrentDeqHigh {
+	if n := len(q.deqActive); n > q.concurrentDeqHigh {
 		q.concurrentDeqHigh = n
 	}
 	q.reg.Gauge("txn.concurrent_dequeuers.max").Max(int64(q.concurrentDeqHigh))
 }
 
-// activeDequeuers returns the active transactions that have executed at
-// least one Deq.
-func (q *Queue) activeDequeuers() []ID {
-	seen := map[ID]bool{}
-	var out []ID
-	for _, st := range q.schedule {
-		if st.Op.Name == history.NameDeq && q.status[st.Txn] == StatusActive && !seen[st.Txn] {
-			seen[st.Txn] = true
-			out = append(out, st.Txn)
-		}
+// buffer records one of t's operations for the audit.
+func (q *Queue) buffer(t ID, op history.Op) {
+	if q.audit != nil {
+		q.txnOps[t] = append(q.txnOps[t], op)
 	}
-	return out
 }
 
 // MaxConcurrentDequeuers returns the high-water mark of simultaneously
@@ -298,7 +343,9 @@ func (q *Queue) activeDequeuers() []ID {
 // active transactions have executed Deq operations").
 func (q *Queue) MaxConcurrentDequeuers() int { return q.concurrentDeqHigh }
 
-// Schedule returns the schedule executed so far.
+// Schedule returns the schedule executed so far. The copy keeps
+// q.schedule unaliased, which is what lets the runtime extend it in
+// place (appending a copy per step would cost O(n²) over a run).
 func (q *Queue) Schedule() Schedule { return q.schedule.Append() }
 
 // Items returns the committed, unconsumed elements in queue order.
