@@ -1,14 +1,17 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-json vet fmt lint experiments verify examples clean
+.PHONY: all build test race fuzz bench bench-json vet fmt lint lint-v2 experiments verify examples clean
 
 all: build vet lint test
 
 build:
 	$(GO) build ./...
 
-test:
+# Tier-1 includes go vet: it is cheap, and the custom passes assume a
+# vet-clean tree (shadowed variables and misuses vet already catches
+# are out of relaxlint's scope by design).
+test: vet
 	$(GO) test ./...
 
 race:
@@ -36,10 +39,21 @@ bench-json:
 vet:
 	$(GO) vet ./...
 
-# Custom static analysis: model-layer determinism, lock discipline,
-# error discipline, spec purity (see internal/lint).
+# Custom static analysis: model-layer determinism (syntactic and
+# flow-sensitive taint), lock discipline and acquisition ordering,
+# error discipline, spec purity, and static quorum-claim certification
+# (see internal/lint and DESIGN.md §8, §12).
 lint:
 	$(GO) run ./cmd/relaxlint ./...
+
+# The full lint suite the CI lint-v2 job runs: JSON findings, the
+# speccheck proof artifact, and the fixture-inversion check.
+lint-v2:
+	$(GO) run ./cmd/relaxlint -json ./... > relaxlint.json
+	$(GO) run ./cmd/relaxlint -proof speccheck.json ./...
+	@if $(GO) run ./cmd/relaxlint -dir internal/lint/testdata/src ./... >/dev/null; then \
+		echo "relaxlint reported no findings on the violation fixtures"; exit 1; \
+	else true; fi
 
 fmt:
 	gofmt -w .

@@ -1,17 +1,29 @@
 // Command relaxlint is the repository's custom static analyzer. It
-// enforces model-layer determinism (no wall clocks, no global RNG, no
-// escaping map order), lock discipline, error discipline, and spec
-// purity — the properties the compiler cannot check but the paper's
-// reproducibility rests on. See internal/lint for the rule families
-// and the //lint:ignore suppression convention.
+// enforces model-layer determinism (syntactically and by
+// interprocedural taint), lock discipline and lock-acquisition
+// ordering, error discipline, spec purity, and the paper's
+// quorum-intersection side conditions — the properties the compiler
+// cannot check but the paper's reproducibility rests on. See
+// internal/lint for the rule families and the //lint:ignore
+// suppression convention.
 //
 // Usage:
 //
-//	relaxlint [-json] [-dir root] [-model suffixes] [patterns...]
+//	relaxlint [flags] [patterns...]
 //
-// Patterns default to ./... and are interpreted relative to -dir
-// (default "."). Exit status is 0 when clean, 1 when findings are
-// reported, and 2 on analysis failure.
+//	-json            emit findings as a JSON array (stable order)
+//	-dir root        module root to analyze (default ".")
+//	-model suffixes  override the model-layer package list
+//	-sites n         replica count for the speccheck certifier (default 5)
+//	-proof file      write the speccheck proof artifact (JSON) to file
+//	-baseline file   suppress findings recorded in a baseline snapshot
+//	-write-baseline file
+//	                 write the current findings as the new baseline and
+//	                 exit 0 (CI ratchet: accepted debt, not a mute)
+//
+// Patterns default to ./... and are interpreted relative to -dir.
+// Exit status is 0 when clean (or when every finding is baselined),
+// 1 when findings are reported, and 2 on analysis failure.
 package main
 
 import (
@@ -28,6 +40,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (for CI consumption)")
 	dir := flag.String("dir", ".", "module root to analyze")
 	model := flag.String("model", "", "comma-separated import-path suffixes of model-layer packages (default: built-in list)")
+	sites := flag.Int("sites", 5, "replica count for the speccheck quorum certifier")
+	proofPath := flag.String("proof", "", "write the speccheck proof artifact (JSON) to this file")
+	baselinePath := flag.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Parse()
 
 	patterns := flag.Args()
@@ -38,18 +54,51 @@ func main() {
 	if *model != "" {
 		cfg.ModelPaths = strings.Split(*model, ",")
 	}
+	cfg.Sites = *sites
 
-	diags, err := lint.Run(*dir, cfg, patterns)
+	pkgs, err := lint.Load(*dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "relaxlint:", err)
-		os.Exit(2)
+		fail(err)
+	}
+	diags, err := lint.RunPackages(pkgs, cfg, patterns)
+	if err != nil {
+		fail(err)
+	}
+	if *proofPath != "" {
+		proof, ok := lint.SpecProofs(pkgs, cfg.Sites)
+		if !ok {
+			fail(fmt.Errorf("no quorum/claim literals found; nothing to prove"))
+		}
+		data, err := json.MarshalIndent(proof, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*proofPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "relaxlint: wrote %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		diags = lint.FilterBaseline(diags, base)
 	}
 	if *jsonOut {
+		if diags == nil {
+			diags = []lint.Diagnostic{} // a clean tree is [], not null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(os.Stderr, "relaxlint:", err)
-			os.Exit(2)
+			fail(err)
 		}
 	} else {
 		for _, d := range diags {
@@ -60,4 +109,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "relaxlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "relaxlint:", err)
+	os.Exit(2)
 }

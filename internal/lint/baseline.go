@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// A baseline is a committed snapshot of accepted findings: CI runs
+// relaxlint against it and fails only on findings that are not in the
+// snapshot, so a pre-existing debt item does not block unrelated
+// changes while every *new* finding still does. Findings are matched
+// by (file, rule, message) with multiset semantics — line and column
+// are deliberately excluded so unrelated edits that shift a finding a
+// few lines do not defeat the baseline, while a second instance of the
+// same finding in the same file is still new.
+
+// baselineFile is the on-disk schema (documented in DESIGN.md §12).
+type baselineFile struct {
+	Version  int          `json:"version"`
+	Findings []Diagnostic `json:"findings"`
+}
+
+// baselineVersion is the current schema version.
+const baselineVersion = 1
+
+// WriteBaseline writes the findings as a baseline snapshot.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Findings: diags}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline snapshot.
+func LoadBaseline(path string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f baselineFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	if f.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, f.Version, baselineVersion)
+	}
+	return f.Findings, nil
+}
+
+// FilterBaseline removes findings covered by the baseline, consuming
+// one baseline entry per match.
+func FilterBaseline(diags, baseline []Diagnostic) []Diagnostic {
+	if len(baseline) == 0 {
+		return diags
+	}
+	budget := map[[3]string]int{}
+	for _, b := range baseline {
+		budget[[3]string{b.File, b.Rule, b.Message}]++
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		key := [3]string{d.File, d.Rule, d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

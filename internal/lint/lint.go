@@ -7,26 +7,41 @@
 // protocols) must follow a strict locking discipline so the
 // concurrency results are trustworthy.
 //
-// Four rule families are implemented:
+// Seven rule families are implemented:
 //
 //   - determinism (det-time, det-rand, det-maporder): model-layer
 //     packages must not read the wall clock, use the global RNG, or
 //     let map iteration order escape into slices/returns unsorted.
+//   - determinism taint (det-taint): the interprocedural closure of
+//     the same discipline — values derived from the wall clock, the
+//     global RNG, or map iteration order anywhere in the module are
+//     tracked through assignments, returns, and struct fields, and
+//     reported when they reach model-package state through helpers the
+//     syntactic passes cannot see.
 //   - lock discipline (lock-balance, lock-guard): a mutex Lock must be
 //     released on every path, and fields annotated "guarded by <mu>"
 //     must only be touched by methods that acquire <mu>.
+//   - lock ordering (lock-order): the module-wide lock-acquisition
+//     graph (built from guarded-by annotations plus observed
+//     Lock/Unlock nesting, closed over direct calls) must be acyclic;
+//     cycles are potential deadlocks.
 //   - error discipline (err-drop): error results must not be discarded
 //     with a blank identifier outside _test.go files.
 //   - spec purity (spec-purity): functions in the specification
 //     catalog must not write package-level state.
+//   - quorum certification (speccheck): the quorum-assignment and
+//     claim-table literals must satisfy the paper's quorum
+//     intersection side conditions — see speccheck.go.
 //
 // Any finding can be suppressed with a comment on the same line or
 // the line above:
 //
-//	//lint:ignore <rule>[,<rule>...] <reason>
+//	//lint:ignore <pass>[,<pass>...] <reason>
 //
-// The reason is mandatory; a missing reason is itself reported
-// (bad-ignore). "*" suppresses every rule on the target line.
+// The pass name must be one of the rule names above and the reason is
+// mandatory; a missing reason or an unknown pass name is itself
+// reported (bad-ignore), and a directive that suppresses nothing is
+// reported too (unused-ignore) so stale suppressions cannot linger.
 package lint
 
 import (
@@ -51,15 +66,46 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
 }
 
+// knownRules is the set of pass names a //lint:ignore directive may
+// suppress. The meta diagnostics bad-ignore and unused-ignore are
+// deliberately absent: suppression machinery cannot suppress itself.
+var knownRules = map[string]bool{
+	"det-time":     true,
+	"det-rand":     true,
+	"det-maporder": true,
+	"det-taint":    true,
+	"lock-balance": true,
+	"lock-guard":   true,
+	"lock-order":   true,
+	"err-drop":     true,
+	"spec-purity":  true,
+	"speccheck":    true,
+}
+
+// KnownRules returns the suppressible pass names, sorted.
+func KnownRules() []string {
+	out := make([]string, 0, len(knownRules))
+	for r := range knownRules {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Config selects which packages the path-scoped rule families apply
 // to. Paths are import-path suffixes (matched on "/" boundaries), so
 // the defaults apply equally to this module and to fixture modules
 // that mirror its layout.
 type Config struct {
-	// ModelPaths are the packages held to the determinism rules.
+	// ModelPaths are the packages held to the determinism rules
+	// (det-time, det-rand, det-maporder, det-taint).
 	ModelPaths []string
 	// SpecPaths are the packages held to the spec-purity rule.
 	SpecPaths []string
+	// Sites is the replica count at which the speccheck pass evaluates
+	// the quorum intersection side conditions. Non-positive takes 5,
+	// the soak harness's cluster size.
+	Sites int
 }
 
 // DefaultConfig returns the repository's rule scoping: the nine
@@ -83,6 +129,7 @@ func DefaultConfig() Config {
 			"internal/relaxcheck",
 		},
 		SpecPaths: []string{"internal/specs"},
+		Sites:     5,
 	}
 }
 
@@ -98,36 +145,59 @@ func Run(root string, cfg Config, patterns []string) ([]Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	var diags []Diagnostic
-	matched := 0
+	return RunPackages(pkgs, cfg, patterns)
+}
+
+// RunPackages applies the rules to already-loaded packages (see Load).
+// Splitting loading from analysis lets callers that need several
+// analyses over one module — the CLI emitting both findings and the
+// speccheck proof artifact, or the test suite — typecheck it once.
+func RunPackages(pkgs []*Package, cfg Config, patterns []string) ([]Diagnostic, error) {
+	if cfg.Sites <= 0 {
+		cfg.Sites = 5
+	}
+	var matched []*Package
+	inScope := map[string]bool{}
 	for _, p := range pkgs {
-		if !matchPattern(p.RelDir, patterns) {
-			continue
+		if matchPattern(p.RelDir, patterns) {
+			matched = append(matched, p)
+			inScope[p.Path] = true
 		}
-		matched++
-		report := func(pos token.Pos, rule, msg string) {
-			position := p.Fset.Position(pos)
-			diags = append(diags, Diagnostic{
-				File:    position.Filename,
-				Line:    position.Line,
-				Col:     position.Column,
-				Rule:    rule,
-				Message: msg,
-			})
-		}
-		ignores := collectIgnores(p, report)
-		n := len(diags)
+	}
+	// A pattern that selects nothing is almost always a typo; failing
+	// loudly keeps a mistyped CI invocation from passing vacuously.
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+	fset := matched[0].Fset
+	var diags []Diagnostic
+	report := func(pos token.Pos, rule, msg string) {
+		position := fset.Position(pos)
+		diags = append(diags, Diagnostic{
+			File:    position.Filename,
+			Line:    position.Line,
+			Col:     position.Column,
+			Rule:    rule,
+			Message: msg,
+		})
+	}
+	// Per-package passes see one package at a time.
+	for _, p := range matched {
 		checkDeterminism(p, cfg, report)
 		checkLocks(p, report)
 		checkErrDiscipline(p, report)
 		checkSpecPurity(p, cfg, report)
-		diags = append(diags[:n], filterIgnored(diags[n:], ignores)...)
 	}
-	// A pattern that selects nothing is almost always a typo; failing
-	// loudly keeps a mistyped CI invocation from passing vacuously.
-	if matched == 0 {
-		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
-	}
+	// Module-wide passes build summaries over every package of the
+	// module (taint and lock acquisition flow through unmatched helper
+	// packages too) but report findings only inside matched packages.
+	checkTaint(pkgs, inScope, cfg, report)
+	checkLockOrder(pkgs, inScope, report)
+	checkSpecIntersections(pkgs, inScope, cfg, report)
+
+	idx := collectIgnores(matched, report)
+	diags = filterIgnored(diags, idx)
+	diags = append(diags, unusedIgnores(idx)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -139,7 +209,10 @@ func Run(root string, cfg Config, patterns []string) ([]Diagnostic, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
 	return diags, nil
 }

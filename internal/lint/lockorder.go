@@ -1,0 +1,530 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements lock-order: deadlock-freedom by acquisition
+// ordering. Two locks that are ever nested in opposite orders by two
+// code paths can deadlock under the right interleaving, even when
+// every individual function is perfectly lock-balanced. The pass
+// builds the module-wide lock-acquisition graph and reports each
+// strongly connected component as a potential deadlock.
+//
+// Nodes are lock identities — a mutex field ("cluster.Cluster.mu") or
+// a package-level mutex variable ("obs.pool"). Locals are skipped:
+// a function-scoped mutex has no cross-function identity to order.
+//
+// Edges come from two observations, closed over the static call graph:
+//
+//   - observed nesting: while lock A's held interval is open (from a
+//     Lock/RLock to its source-order Unlock, or to the end of the
+//     function for the defer idiom), a direct acquisition of B adds
+//     A → B;
+//   - call summaries: a call to f while holding A adds A → X for every
+//     lock X that f may acquire (transitively through the functions it
+//     calls). "guarded by <mu>" annotations extend the summaries: a
+//     method that touches a guarded field without acquiring the guard
+//     is a caller-holds helper, so its callers must hold <mu> — the
+//     summary records <mu> as held-through-call, except that holding
+//     exactly <mu> at the call site is the sanctioned pattern and adds
+//     no self edge.
+//
+// A direct re-acquisition of a lock inside its own held interval is a
+// self edge — sync.Mutex is not reentrant, so that cycle of length one
+// is a guaranteed self-deadlock, not just a potential one.
+//
+// Like the other module-wide passes, summaries span every package of
+// the module; findings are reported only in matched packages, once per
+// cycle, at the earliest in-scope edge site.
+
+// lockEdge is one observed A-before-B acquisition, keyed by the first
+// site that exhibits it.
+type lockEdge struct {
+	pos     token.Pos
+	inScope bool
+}
+
+// lockOrderWorld accumulates the module-wide graph.
+type lockOrderWorld struct {
+	// summaries maps each function to the set of lock names it may
+	// acquire (or require held), transitively.
+	summaries map[*types.Func]map[string]bool
+	decls     map[*types.Func]*funcDecl
+	order     []*types.Func
+	edges     map[string]map[string]lockEdge
+}
+
+func checkLockOrder(pkgs []*Package, inScope map[string]bool, report reportFunc) {
+	w := &lockOrderWorld{
+		summaries: map[*types.Func]map[string]bool{},
+		decls:     map[*types.Func]*funcDecl{},
+		edges:     map[string]map[string]lockEdge{},
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				w.decls[obj] = &funcDecl{pkg: p, decl: fd}
+				w.order = append(w.order, obj)
+			}
+		}
+	}
+	sort.Slice(w.order, func(i, j int) bool {
+		di, dj := w.decls[w.order[i]], w.decls[w.order[j]]
+		return di.pkg.Fset.Position(di.decl.Pos()).String() < dj.pkg.Fset.Position(dj.decl.Pos()).String()
+	})
+	// Seed summaries: direct acquisitions plus annotation-implied
+	// requirements.
+	for _, fn := range w.order {
+		d := w.decls[fn]
+		acq := map[string]bool{}
+		for _, name := range directAcquisitions(d.pkg, d.decl.Body) {
+			acq[name] = true
+		}
+		for _, name := range impliedGuards(d.pkg, d.decl) {
+			acq[name] = true
+		}
+		w.summaries[fn] = acq
+	}
+	// Close summaries over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range w.order {
+			d := w.decls[fn]
+			sum := w.summaries[fn]
+			ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(d.pkg, call)
+				if callee == nil {
+					return true
+				}
+				for name := range w.summaries[callee] {
+					if !sum[name] {
+						sum[name] = true
+						changed = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	// Edge construction from held intervals.
+	for _, fn := range w.order {
+		w.addEdges(fn, inScope)
+	}
+	w.reportCycles(report)
+}
+
+// lockNameForExpr canonicalizes the receiver expression of a mutex
+// operation into a cross-function lock identity, or reports that the
+// lock has none (locals).
+func lockNameForExpr(p *Package, e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return lockNameForExpr(p, x.X)
+	case *ast.SelectorExpr:
+		tv, ok := p.Info.Types[x.X]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		t := tv.Type
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return "", false
+		}
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name() + "." + x.Sel.Name, true
+	case *ast.Ident:
+		obj := p.Info.Uses[x]
+		if obj == nil {
+			obj = p.Info.Defs[x]
+		}
+		if obj == nil || !isPackageVar(obj) {
+			return "", false
+		}
+		return p.Types.Name() + "." + x.Name, true
+	}
+	return "", false
+}
+
+// directAcquisitions lists the lock names a function body acquires
+// with Lock/RLock, skipping function literals.
+func directAcquisitions(p *Package, body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := asMutexOp(p, call, "Lock", "RLock"); !ok {
+			return true
+		}
+		sel := call.Fun.(*ast.SelectorExpr)
+		if name, ok := lockNameForExpr(p, sel.X); ok {
+			out = append(out, name)
+		}
+		return true
+	})
+	return out
+}
+
+// impliedGuards lists the guard names a method requires without
+// acquiring them: it touches a "guarded by <mu>" field of its receiver
+// but never locks <mu>, so by the lock-guard contract its caller holds
+// the guard across the call.
+func impliedGuards(p *Package, fd *ast.FuncDecl) []string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recvObj := p.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return nil
+	}
+	recvType := receiverTypeName(fd.Recv.List[0].Type)
+	var out []string
+	for _, g := range guardedFieldsOf(p) {
+		if g.structName != recvType {
+			continue
+		}
+		if fieldAccess(p, fd.Body, recvObj, g.fieldName) == token.NoPos {
+			continue
+		}
+		if acquiresMutex(p, fd.Body, recvObj, g.mu) {
+			continue
+		}
+		out = append(out, p.Types.Name()+"."+g.structName+"."+g.mu)
+	}
+	return out
+}
+
+// guardedFieldsOf collects the package's "guarded by" annotations.
+func guardedFieldsOf(p *Package) []guardedField {
+	var guarded []guardedField
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := ""
+				if field.Doc != nil {
+					text += field.Doc.Text()
+				}
+				if field.Comment != nil {
+					text += field.Comment.Text()
+				}
+				m := guardedRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					guarded = append(guarded, guardedField{
+						structName: ts.Name.Name,
+						fieldName:  name.Name,
+						mu:         m[1],
+					})
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// heldInterval is one source-order span during which a named lock is
+// held.
+type heldInterval struct {
+	name   string
+	lo, hi token.Pos
+}
+
+// heldIntervals computes the held spans of a function body: a Lock
+// followed by a defer Unlock holds to the end of the body; otherwise
+// to the first matching unlock in source order (end of body if none —
+// lock-balance reports that separately).
+func heldIntervals(p *Package, body *ast.BlockStmt) []heldInterval {
+	var out []heldInterval
+	for _, list := range stmtLists(body) {
+		for i, stmt := range list {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			lk, ok := asMutexOp(p, call, "Lock", "RLock")
+			if !ok {
+				continue
+			}
+			name, ok := lockNameForExpr(p, call.Fun.(*ast.SelectorExpr).X)
+			if !ok {
+				continue
+			}
+			hi := body.End()
+			if !(i+1 < len(list) && isDeferUnlock(p, list[i+1], lk)) {
+				if pos, found := firstUnlockAfter(p, body, lk); found {
+					hi = pos
+				}
+			}
+			out = append(out, heldInterval{name: name, lo: call.End(), hi: hi})
+		}
+	}
+	return out
+}
+
+// addEdges records the acquisition edges one function exhibits.
+func (w *lockOrderWorld) addEdges(fn *types.Func, inScope map[string]bool) {
+	d := w.decls[fn]
+	intervals := heldIntervals(d.pkg, d.decl.Body)
+	if len(intervals) == 0 {
+		return
+	}
+	scoped := inScope[d.pkg.Path]
+	ast.Inspect(d.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := asMutexOp(d.pkg, call, "Lock", "RLock"); ok {
+			name, ok := lockNameForExpr(d.pkg, call.Fun.(*ast.SelectorExpr).X)
+			if !ok {
+				return true
+			}
+			for _, iv := range intervals {
+				if call.Pos() > iv.lo && call.Pos() < iv.hi {
+					w.edge(iv.name, name, call.Pos(), scoped)
+				}
+			}
+			return true
+		}
+		if _, isUnlock := asMutexOp(d.pkg, call, "Unlock", "RUnlock"); isUnlock {
+			return true
+		}
+		callee := calleeFunc(d.pkg, call)
+		if callee == nil {
+			return true
+		}
+		sum := w.summaries[callee]
+		if len(sum) == 0 {
+			return true
+		}
+		for _, iv := range intervals {
+			if call.Pos() <= iv.lo || call.Pos() >= iv.hi {
+				continue
+			}
+			for name := range sum {
+				// Holding exactly the lock a caller-holds helper requires
+				// is the sanctioned pattern, not a self edge; only a
+				// *direct* re-Lock (handled above) is a self-deadlock.
+				if name != iv.name {
+					w.edge(iv.name, name, call.Pos(), scoped)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// edge records A → B, keeping the earliest site (preferring in-scope
+// sites so the report lands somewhere the caller selected).
+func (w *lockOrderWorld) edge(a, b string, pos token.Pos, inScope bool) {
+	m := w.edges[a]
+	if m == nil {
+		m = map[string]lockEdge{}
+		w.edges[a] = m
+	}
+	prev, ok := m[b]
+	if !ok || (inScope && !prev.inScope) || (inScope == prev.inScope && pos < prev.pos) {
+		m[b] = lockEdge{pos: pos, inScope: inScope}
+	}
+}
+
+// reportCycles finds strongly connected components of the acquisition
+// graph and reports each one once, deterministically.
+func (w *lockOrderWorld) reportCycles(report reportFunc) {
+	nodes := make([]string, 0, len(w.edges))
+	seen := map[string]bool{}
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for a, m := range w.edges {
+		addNode(a)
+		for b := range m {
+			addNode(b)
+		}
+	}
+	sort.Strings(nodes)
+	adj := map[string][]string{}
+	for a, m := range w.edges {
+		for b := range m {
+			adj[a] = append(adj[a], b)
+		}
+		sort.Strings(adj[a])
+	}
+	for _, scc := range stronglyConnected(nodes, adj) {
+		isCycle := len(scc) > 1
+		if len(scc) == 1 {
+			if _, self := w.edges[scc[0]][scc[0]]; self {
+				isCycle = true
+			}
+		}
+		if !isCycle {
+			continue
+		}
+		// Earliest in-scope edge inside the component anchors the report.
+		best := token.NoPos
+		inSCC := map[string]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		for _, a := range scc {
+			for b, e := range w.edges[a] {
+				if inSCC[b] && e.inScope && (best == token.NoPos || e.pos < best) {
+					best = e.pos
+				}
+			}
+		}
+		if best == token.NoPos {
+			continue // cycle entirely outside the matched packages
+		}
+		report(best, "lock-order", fmt.Sprintf(
+			"lock acquisition cycle %s (potential deadlock); impose a single acquisition order",
+			cyclePath(scc, adj)))
+	}
+}
+
+// cyclePath renders a concrete cycle through the component, starting
+// at its lexicographically smallest lock.
+func cyclePath(scc []string, adj map[string][]string) string {
+	sorted := append([]string(nil), scc...)
+	sort.Strings(sorted)
+	start := sorted[0]
+	inSCC := map[string]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	// DFS from start back to start, visiting SCC nodes, neighbors in
+	// sorted order: deterministic and guaranteed to close (every SCC
+	// node lies on a cycle through the component).
+	var path []string
+	var dfs func(n string, visited map[string]bool) bool
+	dfs = func(n string, visited map[string]bool) bool {
+		path = append(path, n)
+		for _, next := range adj[n] {
+			if next == start && len(path) >= 1 {
+				if len(path) > 1 || contains(adj[n], start) {
+					return true
+				}
+			}
+			if inSCC[next] && !visited[next] {
+				visited[next] = true
+				if dfs(next, visited) {
+					return true
+				}
+				delete(visited, next)
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if dfs(start, map[string]bool{start: true}) {
+		return strings.Join(append(path, start), " -> ")
+	}
+	// Fallback (should not happen for a genuine SCC): list the locks.
+	return strings.Join(sorted, " -> ")
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// stronglyConnected is Tarjan's algorithm over a deterministic node
+// order.
+func stronglyConnected(nodes []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wn := range adj[v] {
+			if _, seen := index[wn]; !seen {
+				strong(wn)
+				if low[wn] < low[v] {
+					low[v] = low[wn]
+				}
+			} else if onStack[wn] && index[wn] < low[v] {
+				low[v] = index[wn]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				n := len(stack) - 1
+				wn := stack[n]
+				stack = stack[:n]
+				onStack[wn] = false
+				scc = append(scc, wn)
+				if wn == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,841 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements speccheck: a static certifier for the paper's
+// quorum-intersection side conditions. The relaxation lattice's claim
+// that constraint set C yields behavior φ(C) rests on Section 3.1's
+// condition that every initial quorum of inv must intersect every
+// final quorum of op, for each pair (inv, op) in C's intersection
+// relation — with weighted voting, Initial(inv) + Final(op) > total.
+// PR 5 learned at runtime (X06, step 462 of a pinned soak) that the
+// condition can silently fail in *mixed-rung* executions: quorums
+// drawn from different ladder rungs need not intersect even when each
+// rung alone realizes its constraints. speccheck proves or refutes
+// those conditions directly from the literals in source, without
+// running anything.
+//
+// Extraction is structural, resolved through the type checker's
+// constant folding (so history.NameEnq and core.ConstraintQ1 work
+// across packages):
+//
+//   - TaxiAssignments(n): per-rung, per-operation Initial/Final
+//     thresholds, evaluated symbolically with n bound to the
+//     configured site count (local helpers like maj := n/2 + 1 are
+//     followed);
+//   - TaxiUniverse(): the constraint universe, in declaration order;
+//   - Q1(), Q2(), ...: each universe constraint's intersection
+//     relation, from the Pair literals in its same-named function;
+//   - TaxiLadder(n): the degradation ladder's rung order;
+//   - TaxiClaims/TaxiRungLevels: the rung → constraint-set claim
+//     tables (u.All(), u.Named(...), and 0 are recognized).
+//
+// Certification interprets a claim table the way the online checker
+// does: T[r] is what a joint execution guarantees while its weakest
+// client sits at rung r — so clients may be running any rung from the
+// top down to r, and every constraint in T[r] must hold across every
+// ordered pair of active rungs:
+//
+//	∀ c ∈ T[r], ∀ (inv, op) ∈ pairs(c), ∀ ra, rb ∈ ladder[0..r]:
+//	    Initial[ra][inv] + Final[rb][op] > total
+//
+// A violated instance refutes the entry with a concrete witness (the
+// two rungs, the operation pair, and the weights); an entry claiming ∅
+// is trivially certified. The verdicts and witnesses are exposed as a
+// proof artifact (SpecProofs) the CLI can emit, and refuted entries in
+// matched packages are reported as speccheck findings. Modules with no
+// quorum/claim literals (most fixture trees) are simply out of scope.
+
+// SpecProof is the proof artifact: everything the certifier extracted
+// and every verdict it reached, in deterministic order (ladder order
+// for rungs, declaration order for constraints, sorted table names).
+type SpecProof struct {
+	Sites       int              `json:"sites"`
+	Total       int              `json:"total_weight"`
+	Ladder      []string         `json:"ladder"`
+	Constraints []SpecConstraint `json:"constraints"`
+	Assignments []SpecAssignment `json:"assignments"`
+	Tables      []SpecTable      `json:"tables"`
+}
+
+// SpecConstraint is one universe constraint and its intersection
+// relation.
+type SpecConstraint struct {
+	Name  string     `json:"name"`
+	Pairs []SpecPair `json:"pairs"`
+}
+
+// SpecPair is one (invocation, operation) intersection requirement.
+type SpecPair struct {
+	Inv string `json:"inv"`
+	Op  string `json:"op"`
+}
+
+// SpecAssignment is one rung's extracted thresholds plus the
+// constraints that rung realizes on its own (the single-rung
+// relation, cross-checked against Voting.Relation in tests).
+type SpecAssignment struct {
+	Rung     string          `json:"rung"`
+	Ops      []SpecOpQuorums `json:"ops"`
+	Realizes []string        `json:"realizes"`
+}
+
+// SpecOpQuorums is one operation's thresholds.
+type SpecOpQuorums struct {
+	Op      string `json:"op"`
+	Initial int    `json:"initial"`
+	Final   int    `json:"final"`
+}
+
+// SpecTable is one claim table's verdicts.
+type SpecTable struct {
+	Name    string        `json:"name"`
+	Entries []SpecVerdict `json:"entries"`
+}
+
+// SpecVerdict is the certifier's verdict on one claim-table entry.
+type SpecVerdict struct {
+	Rung    string       `json:"rung"`
+	Claims  []string     `json:"claims"`
+	Verdict string       `json:"verdict"` // "certified", "refuted", or "trivial"
+	Witness *SpecWitness `json:"witness,omitempty"`
+	File    string       `json:"file"`
+	Line    int          `json:"line"`
+}
+
+// SpecWitness pins a refutation: the constraint, the operation pair,
+// and the two active rungs whose quorums need not intersect.
+type SpecWitness struct {
+	Constraint string `json:"constraint"`
+	Inv        string `json:"inv"`
+	InvRung    string `json:"inv_rung"`
+	Initial    int    `json:"initial"`
+	Op         string `json:"op"`
+	OpRung     string `json:"op_rung"`
+	Final      int    `json:"final"`
+	Total      int    `json:"total_weight"`
+}
+
+// claimTableNames are the claim-table functions the certifier audits.
+var claimTableNames = map[string]bool{
+	"TaxiClaims":     true,
+	"TaxiRungLevels": true,
+}
+
+// specSource is the raw extraction from one module.
+type specSource struct {
+	universe    []string
+	pairs       map[string][]SpecPair
+	ladder      []string
+	assigns     map[string]*specAssign
+	assignOrder []string
+	tables      []*specTable
+	problems    []specProblem
+}
+
+type specAssign struct {
+	rung    string
+	total   int
+	ops     map[string]specOpQ
+	opOrder []string
+}
+
+type specOpQ struct{ initial, final int }
+
+type specTable struct {
+	name    string
+	pkg     *Package
+	entries []specEntry
+}
+
+// claim kinds.
+const (
+	claimEmpty = iota
+	claimAll
+	claimNamed
+)
+
+type specEntry struct {
+	rung  string
+	pos   token.Pos
+	kind  int
+	names []string
+}
+
+type specProblem struct {
+	pkg *Package
+	pos token.Pos
+	msg string
+}
+
+// checkSpecIntersections runs speccheck over the module: extraction,
+// certification, and a finding for each refuted claim entry or
+// extraction gap inside the matched packages.
+func checkSpecIntersections(pkgs []*Package, inScope map[string]bool, cfg Config, report reportFunc) {
+	src := extractSpec(pkgs, cfg.Sites)
+	if src == nil {
+		return
+	}
+	for _, pr := range src.problems {
+		if inScope[pr.pkg.Path] {
+			report(pr.pos, "speccheck", pr.msg)
+		}
+	}
+	proof := certifySpec(src, cfg.Sites)
+	for _, tbl := range proof.Tables {
+		srcTbl := src.tableByName(tbl.Name)
+		for ei, v := range tbl.Entries {
+			if v.Verdict != "refuted" || srcTbl == nil || !inScope[srcTbl.pkg.Path] {
+				continue
+			}
+			w := v.Witness
+			report(srcTbl.entries[ei].pos, "speccheck", fmt.Sprintf(
+				"%s[%q] claims {%s}, refuted at n=%d: a %s initial quorum at rung %q (weight %d) and a %s final quorum at rung %q (weight %d) need not intersect (%d+%d <= %d), forfeiting %s in mixed-rung executions",
+				tbl.Name, v.Rung, strings.Join(v.Claims, ","), proof.Sites,
+				w.Inv, w.InvRung, w.Initial, w.Op, w.OpRung, w.Final,
+				w.Initial, w.Final, w.Total, w.Constraint))
+		}
+	}
+}
+
+// SpecProofs extracts and certifies the module's quorum and claim
+// literals at the given site count. ok is false when the module
+// contains none (no assignments or no claim tables).
+func SpecProofs(pkgs []*Package, sites int) (*SpecProof, bool) {
+	if sites <= 0 {
+		sites = 5
+	}
+	src := extractSpec(pkgs, sites)
+	if src == nil {
+		return nil, false
+	}
+	return certifySpec(src, sites), true
+}
+
+func (s *specSource) tableByName(name string) *specTable {
+	for _, t := range s.tables {
+		if t.name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// extractSpec pulls the spec literals out of a module's source. It
+// returns nil when the module has no quorum assignments or no claim
+// tables (speccheck does not apply).
+func extractSpec(pkgs []*Package, sites int) *specSource {
+	src := &specSource{
+		pairs:   map[string][]SpecPair{},
+		assigns: map[string]*specAssign{},
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv != nil {
+					continue
+				}
+				switch {
+				case fd.Name.Name == "TaxiAssignments":
+					src.extractAssignments(p, fd, sites)
+				case fd.Name.Name == "TaxiUniverse":
+					src.extractUniverse(p, fd)
+				case fd.Name.Name == "TaxiLadder":
+					src.extractLadder(p, fd)
+				case claimTableNames[fd.Name.Name]:
+					src.extractClaims(p, fd)
+				}
+			}
+		}
+	}
+	if len(src.assigns) == 0 || len(src.tables) == 0 {
+		return nil
+	}
+	// Constraint relations come from functions named after the universe
+	// constraints (quorum.Q1, quorum.Q2, ...), found in a second sweep
+	// now that the universe is known.
+	want := map[string]bool{}
+	for _, c := range src.universe {
+		want[c] = true
+	}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv != nil || !want[fd.Name.Name] {
+					continue
+				}
+				src.extractPairs(p, fd)
+			}
+		}
+	}
+	sort.Slice(src.problems, func(i, j int) bool { return src.problems[i].pos < src.problems[j].pos })
+	return src
+}
+
+// extractAssignments evaluates the TaxiAssignments map literal with n
+// bound to sites.
+func (src *specSource) extractAssignments(p *Package, fd *ast.FuncDecl, sites int) {
+	env := intEnv{}
+	if params := fd.Type.Params; params != nil && len(params.List) > 0 && len(params.List[0].Names) > 0 {
+		env[params.List[0].Names[0].Name] = sites
+	}
+	for _, stmt := range fd.Body.List {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || i >= len(s.Rhs) {
+					continue
+				}
+				if v, ok := env.eval(p, s.Rhs[i]); ok {
+					env[id.Name] = v
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) != 1 {
+				continue
+			}
+			lit, ok := s.Results[0].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				rung, ok := constString(p, kv.Key)
+				if !ok {
+					src.problem(p, kv.Key.Pos(), "cannot resolve quorum-assignment rung name to a constant string")
+					continue
+				}
+				a, err := extractVoting(p, env, kv.Value)
+				if err != "" {
+					src.problem(p, kv.Value.Pos(), fmt.Sprintf("cannot statically evaluate assignment for rung %q: %s", rung, err))
+					continue
+				}
+				a.rung = rung
+				src.assigns[rung] = a
+				src.assignOrder = append(src.assignOrder, rung)
+			}
+		}
+	}
+}
+
+// extractVoting evaluates one NewVoting(weights, ops) call.
+func extractVoting(p *Package, env intEnv, e ast.Expr) (*specAssign, string) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || calleeName(call) != "NewVoting" || len(call.Args) != 2 {
+		return nil, "want a NewVoting(weights, ops) call"
+	}
+	total := 0
+	switch w := call.Args[0].(type) {
+	case *ast.CallExpr:
+		// Unit-weight helper: ones(n) contributes n weight-1 votes.
+		if len(w.Args) != 1 {
+			return nil, "cannot evaluate the weight vector"
+		}
+		v, ok := env.eval(p, w.Args[0])
+		if !ok {
+			return nil, "cannot evaluate the weight vector"
+		}
+		total = v
+	case *ast.CompositeLit:
+		for _, elt := range w.Elts {
+			v, ok := env.eval(p, elt)
+			if !ok {
+				return nil, "cannot evaluate the weight vector"
+			}
+			total += v
+		}
+	default:
+		return nil, "cannot evaluate the weight vector"
+	}
+	opsLit, ok := call.Args[1].(*ast.CompositeLit)
+	if !ok {
+		return nil, "want a map literal of operation thresholds"
+	}
+	a := &specAssign{total: total, ops: map[string]specOpQ{}}
+	for _, elt := range opsLit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return nil, "want keyed operation thresholds"
+		}
+		op, ok := constString(p, kv.Key)
+		if !ok {
+			return nil, "cannot resolve an operation name to a constant string"
+		}
+		q, err := extractOpQuorums(p, env, kv.Value)
+		if err != "" {
+			return nil, fmt.Sprintf("operation %q: %s", op, err)
+		}
+		a.ops[op] = q
+		a.opOrder = append(a.opOrder, op)
+	}
+	return a, ""
+}
+
+// extractOpQuorums evaluates one {Initial: x, Final: y} literal (keyed
+// or positional).
+func extractOpQuorums(p *Package, env intEnv, e ast.Expr) (specOpQ, string) {
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok || len(lit.Elts) != 2 {
+		return specOpQ{}, "want an {Initial, Final} literal"
+	}
+	var q specOpQ
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				return specOpQ{}, "want Initial/Final keys"
+			}
+			v, okv := env.eval(p, kv.Value)
+			if !okv {
+				return specOpQ{}, fmt.Sprintf("cannot evaluate the %s threshold", key.Name)
+			}
+			switch key.Name {
+			case "Initial":
+				q.initial = v
+			case "Final":
+				q.final = v
+			default:
+				return specOpQ{}, fmt.Sprintf("unknown threshold field %s", key.Name)
+			}
+		} else {
+			v, okv := env.eval(p, elt)
+			if !okv {
+				return specOpQ{}, "cannot evaluate a positional threshold"
+			}
+			if i == 0 {
+				q.initial = v
+			} else {
+				q.final = v
+			}
+		}
+	}
+	return q, ""
+}
+
+// extractUniverse reads the constraint names out of the Constraint
+// literals in TaxiUniverse, in declaration order.
+func (src *specSource) extractUniverse(p *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || lit.Type == nil || litTypeName(p, lit) != "Constraint" {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Name" {
+				if name, ok := constString(p, kv.Value); ok {
+					src.universe = append(src.universe, name)
+				} else {
+					src.problem(p, kv.Value.Pos(), "cannot resolve a constraint name to a constant string")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// extractPairs reads the Pair literals out of a constraint's relation
+// function.
+func (src *specSource) extractPairs(p *Package, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || lit.Type == nil || litTypeName(p, lit) != "Pair" {
+			return true
+		}
+		var pair SpecPair
+		good := true
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				good = false
+				continue
+			}
+			id, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				good = false
+				continue
+			}
+			val, ok := constString(p, kv.Value)
+			if !ok {
+				good = false
+				continue
+			}
+			switch id.Name {
+			case "Inv":
+				pair.Inv = val
+			case "Op":
+				pair.Op = val
+			}
+		}
+		if good && pair.Inv != "" && pair.Op != "" {
+			src.pairs[name] = append(src.pairs[name], pair)
+		} else {
+			src.problem(p, lit.Pos(), fmt.Sprintf("cannot statically evaluate a Pair literal of constraint %s", name))
+		}
+		return true
+	})
+}
+
+// extractLadder reads the rung order out of TaxiLadder's []Level
+// literal.
+func (src *specSource) extractLadder(p *Package, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || lit.Type == nil {
+			return true
+		}
+		at, ok := lit.Type.(*ast.ArrayType)
+		if !ok || typeNameOf(p, at.Elt) != "Level" {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			inner, ok := elt.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, f := range inner.Elts {
+				kv, ok := f.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Name" {
+					if name, ok := constString(p, kv.Value); ok {
+						src.ladder = append(src.ladder, name)
+					} else {
+						src.problem(p, kv.Value.Pos(), "cannot resolve a ladder rung name to a constant string")
+					}
+				}
+			}
+		}
+		return false
+	})
+}
+
+// extractClaims reads one claim table's rung → constraint-set map.
+func (src *specSource) extractClaims(p *Package, fd *ast.FuncDecl) {
+	tbl := &specTable{name: fd.Name.Name, pkg: p}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if _, isMap := lit.Type.(*ast.MapType); !isMap {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			rung, ok := constString(p, kv.Key)
+			if !ok {
+				src.problem(p, kv.Key.Pos(), fmt.Sprintf("cannot resolve a %s rung name to a constant string", tbl.name))
+				continue
+			}
+			entry := specEntry{rung: rung, pos: kv.Pos()}
+			switch v := kv.Value.(type) {
+			case *ast.CallExpr:
+				switch calleeName(v) {
+				case "All":
+					entry.kind = claimAll
+				case "Named":
+					entry.kind = claimNamed
+					for _, arg := range v.Args {
+						if name, ok := constString(p, arg); ok {
+							entry.names = append(entry.names, name)
+						} else {
+							src.problem(p, arg.Pos(), fmt.Sprintf("cannot resolve a %s constraint name to a constant string", tbl.name))
+						}
+					}
+				default:
+					src.problem(p, v.Pos(), fmt.Sprintf("cannot statically evaluate %s[%q]", tbl.name, rung))
+					continue
+				}
+			default:
+				if v, ok := constIntOf(p, kv.Value); ok && v == 0 {
+					entry.kind = claimEmpty
+				} else {
+					src.problem(p, kv.Value.Pos(), fmt.Sprintf("cannot statically evaluate %s[%q]", tbl.name, rung))
+					continue
+				}
+			}
+			tbl.entries = append(tbl.entries, entry)
+		}
+		return false
+	})
+	src.tables = append(src.tables, tbl)
+}
+
+func (src *specSource) problem(p *Package, pos token.Pos, msg string) {
+	src.problems = append(src.problems, specProblem{pkg: p, pos: pos, msg: msg})
+}
+
+// certifySpec evaluates the intersection side conditions over the
+// extracted literals.
+func certifySpec(src *specSource, sites int) *SpecProof {
+	proof := &SpecProof{Sites: sites, Ladder: append([]string(nil), src.ladder...)}
+	if len(src.assignOrder) > 0 {
+		proof.Total = src.assigns[src.assignOrder[0]].total
+	}
+	for _, c := range src.universe {
+		proof.Constraints = append(proof.Constraints, SpecConstraint{Name: c, Pairs: src.pairs[c]})
+	}
+	// Assignments: ladder rungs first (ladder order), then the rest in
+	// declaration order.
+	emitted := map[string]bool{}
+	emit := func(rung string) {
+		a := src.assigns[rung]
+		if a == nil || emitted[rung] {
+			return
+		}
+		emitted[rung] = true
+		sa := SpecAssignment{Rung: rung, Realizes: []string{}}
+		for _, op := range a.opOrder {
+			sa.Ops = append(sa.Ops, SpecOpQuorums{Op: op, Initial: a.ops[op].initial, Final: a.ops[op].final})
+		}
+		for _, c := range src.universe {
+			if singleRungRealizes(a, src.pairs[c]) {
+				sa.Realizes = append(sa.Realizes, c)
+			}
+		}
+		proof.Assignments = append(proof.Assignments, sa)
+	}
+	for _, rung := range src.ladder {
+		emit(rung)
+	}
+	for _, rung := range src.assignOrder {
+		emit(rung)
+	}
+	tables := append([]*specTable(nil), src.tables...)
+	sort.Slice(tables, func(i, j int) bool { return tables[i].name < tables[j].name })
+	src.tables = tables
+	for _, tbl := range tables {
+		st := SpecTable{Name: tbl.name}
+		// Entries in ladder order, so verdict tables diff cleanly.
+		sort.SliceStable(tbl.entries, func(i, j int) bool {
+			return ladderIndex(src.ladder, tbl.entries[i].rung) < ladderIndex(src.ladder, tbl.entries[j].rung)
+		})
+		for _, e := range tbl.entries {
+			pos := tbl.pkg.Fset.Position(e.pos)
+			v := SpecVerdict{Rung: e.rung, Claims: e.claimNames(src.universe), File: pos.Filename, Line: pos.Line}
+			switch {
+			case len(v.Claims) == 0:
+				v.Verdict = "trivial"
+				v.Claims = []string{}
+			default:
+				v.Verdict = "certified"
+				if w := refute(src, e.rung, v.Claims); w != nil {
+					v.Verdict = "refuted"
+					v.Witness = w
+				}
+			}
+			st.Entries = append(st.Entries, v)
+		}
+		proof.Tables = append(proof.Tables, st)
+	}
+	return proof
+}
+
+// claimNames resolves a claim entry to constraint names in universe
+// order.
+func (e specEntry) claimNames(universe []string) []string {
+	switch e.kind {
+	case claimAll:
+		return append([]string(nil), universe...)
+	case claimNamed:
+		var out []string
+		named := map[string]bool{}
+		for _, n := range e.names {
+			named[n] = true
+		}
+		for _, c := range universe {
+			if named[c] {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// refute searches for an intersection-condition violation of the
+// claimed constraints at floor rung: active rungs are the ladder
+// prefix down to rung, and every (inv-rung, op-rung) ordered pair must
+// satisfy Initial + Final > total. The first violation in
+// deterministic order (claims, then pairs, then rung pairs in ladder
+// order) is the witness.
+func refute(src *specSource, rung string, claims []string) *SpecWitness {
+	idx := ladderIndex(src.ladder, rung)
+	if idx == len(src.ladder) {
+		return nil // rung not on the ladder; extraction already complained
+	}
+	active := src.ladder[:idx+1]
+	for _, c := range claims {
+		for _, pair := range src.pairs[c] {
+			for _, ra := range active {
+				aa := src.assigns[ra]
+				if aa == nil {
+					continue
+				}
+				qi, ok := aa.ops[pair.Inv]
+				if !ok {
+					continue
+				}
+				for _, rb := range active {
+					ab := src.assigns[rb]
+					if ab == nil {
+						continue
+					}
+					qf, ok := ab.ops[pair.Op]
+					if !ok {
+						continue
+					}
+					if qi.initial+qf.final <= aa.total {
+						return &SpecWitness{
+							Constraint: c,
+							Inv:        pair.Inv, InvRung: ra, Initial: qi.initial,
+							Op: pair.Op, OpRung: rb, Final: qf.final,
+							Total: aa.total,
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// singleRungRealizes reports whether one assignment alone satisfies a
+// constraint's intersection relation.
+func singleRungRealizes(a *specAssign, pairs []SpecPair) bool {
+	if len(pairs) == 0 {
+		return false
+	}
+	for _, pr := range pairs {
+		qi, ok1 := a.ops[pr.Inv]
+		qf, ok2 := a.ops[pr.Op]
+		if !ok1 || !ok2 || qi.initial+qf.final <= a.total {
+			return false
+		}
+	}
+	return true
+}
+
+func ladderIndex(ladder []string, rung string) int {
+	for i, r := range ladder {
+		if r == rung {
+			return i
+		}
+	}
+	return len(ladder)
+}
+
+// intEnv evaluates integer expressions over a set of bound names:
+// the type checker's constant folding first (covering literals, const
+// idents across packages, and constant arithmetic), then structural
+// evaluation for expressions over bound variables.
+type intEnv map[string]int
+
+func (env intEnv) eval(p *Package, e ast.Expr) (int, bool) {
+	if v, ok := constIntOf(p, e); ok {
+		return v, true
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := env[x.Name]
+		return v, ok
+	case *ast.ParenExpr:
+		return env.eval(p, x.X)
+	case *ast.BinaryExpr:
+		a, ok1 := env.eval(p, x.X)
+		b, ok2 := env.eval(p, x.Y)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		switch x.Op {
+		case token.ADD:
+			return a + b, true
+		case token.SUB:
+			return a - b, true
+		case token.MUL:
+			return a * b, true
+		case token.QUO:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		}
+	}
+	return 0, false
+}
+
+// constString resolves an expression to a constant string through the
+// type checker.
+func constString(p *Package, e ast.Expr) (string, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	return "", false
+}
+
+// constIntOf resolves an expression to a constant int through the type
+// checker.
+func constIntOf(p *Package, e ast.Expr) (int, bool) {
+	if tv, ok := p.Info.Types[e]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+		if v, exact := constant.Int64Val(tv.Value); exact {
+			return int(v), true
+		}
+	}
+	return 0, false
+}
+
+// calleeName returns the bare name of a call's function expression.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// litTypeName resolves a composite literal's type to its named-type
+// name ("Constraint", "Pair").
+func litTypeName(p *Package, lit *ast.CompositeLit) string {
+	return typeNameOf(p, lit.Type)
+}
+
+// typeNameOf resolves a type expression to its named-type name.
+func typeNameOf(p *Package, e ast.Expr) string {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

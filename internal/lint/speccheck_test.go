@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/experiments"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+)
+
+// proofFor extracts and certifies one tree at one site count.
+func proofFor(t *testing.T, pkgs []*Package, sites int) *SpecProof {
+	t.Helper()
+	proof, ok := SpecProofs(pkgs, sites)
+	if !ok {
+		t.Fatal("SpecProofs found no quorum/claim literals")
+	}
+	return proof
+}
+
+func verdictOf(t *testing.T, proof *SpecProof, table, rung string) SpecVerdict {
+	t.Helper()
+	for _, tbl := range proof.Tables {
+		if tbl.Name != table {
+			continue
+		}
+		for _, v := range tbl.Entries {
+			if v.Rung == rung {
+				return v
+			}
+		}
+	}
+	t.Fatalf("no verdict for %s[%q]", table, rung)
+	return SpecVerdict{}
+}
+
+// TestSpecProofFixture pins the certifier's behavior over the
+// self-contained quorumspec fixture: TaxiClaims certifies, and
+// TaxiRungLevels's "Q1" entry is refuted with the exact mixed-rung
+// witness (a weight-2 Deq initial quorum at rung Q1 and a weight-3 Enq
+// final quorum at rung Q1Q2 need not intersect over 5 sites).
+func TestSpecProofFixture(t *testing.T) {
+	proof := proofFor(t, fixturePackages(t), 5)
+	if proof.Sites != 5 || proof.Total != 5 {
+		t.Errorf("sites/total = %d/%d, want 5/5", proof.Sites, proof.Total)
+	}
+	wantLadder := []string{"Q1Q2", "Q1", "none"}
+	if len(proof.Ladder) != 3 {
+		t.Fatalf("ladder = %v, want %v", proof.Ladder, wantLadder)
+	}
+	for i, r := range wantLadder {
+		if proof.Ladder[i] != r {
+			t.Errorf("ladder[%d] = %q, want %q", i, proof.Ladder[i], r)
+		}
+	}
+	for rung, want := range map[string]string{"Q1Q2": "certified", "Q1": "trivial", "none": "trivial"} {
+		if v := verdictOf(t, proof, "TaxiClaims", rung); v.Verdict != want {
+			t.Errorf("TaxiClaims[%q] = %s, want %s", rung, v.Verdict, want)
+		}
+	}
+	if v := verdictOf(t, proof, "TaxiRungLevels", "Q1Q2"); v.Verdict != "certified" {
+		t.Errorf("TaxiRungLevels[Q1Q2] = %s, want certified", v.Verdict)
+	}
+	refuted := verdictOf(t, proof, "TaxiRungLevels", "Q1")
+	if refuted.Verdict != "refuted" || refuted.Witness == nil {
+		t.Fatalf("TaxiRungLevels[Q1] = %s (witness %v), want refuted with witness", refuted.Verdict, refuted.Witness)
+	}
+	w := *refuted.Witness
+	want := SpecWitness{Constraint: "Q1", Inv: "Deq", InvRung: "Q1", Initial: 2, Op: "Enq", OpRung: "Q1Q2", Final: 3, Total: 5}
+	if w != want {
+		t.Errorf("witness = %+v, want %+v", w, want)
+	}
+	if refuted.File != "quorumspec/quorumspec.go" {
+		t.Errorf("refuted entry file = %q, want quorumspec/quorumspec.go", refuted.File)
+	}
+}
+
+// TestSpecProofRepository certifies the repository's own literals: the
+// soak harness's TaxiClaims table is proved sound, its TaxiRungLevels
+// foil is statically refuted with the same witness PR 5's soak (X06)
+// discovered at runtime on step 462 — derived here without running a
+// single step — and each rung's extracted thresholds realize exactly
+// the single-rung constraints quorum.TaxiAssignments realizes.
+func TestSpecProofRepository(t *testing.T) {
+	proof := proofFor(t, repoPackages(t), 5)
+	for rung, want := range map[string]string{"Q1Q2": "certified", "Q1": "trivial", "none": "trivial"} {
+		if v := verdictOf(t, proof, "TaxiClaims", rung); v.Verdict != want {
+			t.Errorf("TaxiClaims[%q] = %s, want %s", rung, v.Verdict, want)
+		}
+	}
+	refuted := verdictOf(t, proof, "TaxiRungLevels", "Q1")
+	if refuted.Verdict != "refuted" || refuted.Witness == nil {
+		t.Fatalf("TaxiRungLevels[Q1] = %s, want refuted with witness", refuted.Verdict)
+	}
+	w := *refuted.Witness
+	want := SpecWitness{Constraint: "Q1", Inv: "Deq", InvRung: "Q1", Initial: 2, Op: "Enq", OpRung: "Q1Q2", Final: 3, Total: 5}
+	if w != want {
+		t.Errorf("witness = %+v, want %+v", w, want)
+	}
+	if refuted.File != "internal/relaxcheck/soak.go" {
+		t.Errorf("refuted entry file = %q, want internal/relaxcheck/soak.go", refuted.File)
+	}
+	wantRealizes := map[string][]string{
+		"Q1Q2": {"Q1", "Q2"},
+		"Q1":   {"Q1"},
+		"Q2":   {"Q2"},
+		"none": {},
+	}
+	if len(proof.Assignments) != len(wantRealizes) {
+		t.Errorf("extracted %d assignments, want %d", len(proof.Assignments), len(wantRealizes))
+	}
+	for _, a := range proof.Assignments {
+		want, ok := wantRealizes[a.Rung]
+		if !ok {
+			t.Errorf("unexpected assignment rung %q", a.Rung)
+			continue
+		}
+		if fmt.Sprint(a.Realizes) != fmt.Sprint(want) {
+			t.Errorf("rung %q realizes %v, want %v", a.Rung, a.Realizes, want)
+		}
+	}
+}
+
+// TestSpecProofJSONDeterministic asserts the proof artifact marshals
+// identically across runs, so CI can diff it.
+func TestSpecProofJSONDeterministic(t *testing.T) {
+	a, err := json.Marshal(proofFor(t, fixturePackages(t), 5))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	b, err := json.Marshal(proofFor(t, fixturePackages(t), 5))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two certifications of the same tree marshaled differently")
+	}
+}
+
+// TestSpecExtractionMatchesQuorumPackage is the extraction leg of the
+// differential test: the thresholds and total weight the certifier
+// reads out of the source text must equal what quorum.TaxiAssignments
+// actually constructs, and the per-rung "realizes" sets must equal
+// Voting.Satisfies against the real Q1/Q2 relations — for every site
+// count the experiments exercise.
+func TestSpecExtractionMatchesQuorumPackage(t *testing.T) {
+	sitesSet := map[int]bool{experiments.Default().Sites: true}
+	for n := 3; n <= 7; n++ {
+		sitesSet[n] = true
+	}
+	rels := map[string]quorum.Relation{"Q1": quorum.Q1(), "Q2": quorum.Q2()}
+	for n := range sitesSet {
+		proof := proofFor(t, repoPackages(t), n)
+		real := quorum.TaxiAssignments(n)
+		if len(proof.Assignments) != len(real) {
+			t.Errorf("n=%d: extracted %d assignments, quorum package has %d", n, len(proof.Assignments), len(real))
+		}
+		for _, a := range proof.Assignments {
+			v, ok := real[a.Rung]
+			if !ok {
+				t.Errorf("n=%d: extracted rung %q not in quorum.TaxiAssignments", n, a.Rung)
+				continue
+			}
+			if proof.Total != v.TotalWeight() {
+				t.Errorf("n=%d rung %q: extracted total %d, real %d", n, a.Rung, proof.Total, v.TotalWeight())
+			}
+			for _, op := range a.Ops {
+				q, ok := v.Quorums(op.Op)
+				if !ok {
+					t.Errorf("n=%d rung %q: extracted op %q not in real assignment", n, a.Rung, op.Op)
+					continue
+				}
+				if op.Initial != q.Initial || op.Final != q.Final {
+					t.Errorf("n=%d rung %q op %q: extracted {%d,%d}, real {%d,%d}",
+						n, a.Rung, op.Op, op.Initial, op.Final, q.Initial, q.Final)
+				}
+			}
+			realizes := map[string]bool{}
+			for _, c := range a.Realizes {
+				realizes[c] = true
+			}
+			for name, rel := range rels {
+				if got, want := realizes[name], v.Satisfies(rel); got != want {
+					t.Errorf("n=%d rung %q: extracted realizes[%s]=%v, Voting.Satisfies=%v", n, a.Rung, name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSpecVerdictsMatchWeakestAccepting is the semantic leg of the
+// differential test: the certifier's verdict table must agree with the
+// relaxation lattice's own notion of degradation. For each claim-table
+// entry, recompute the mixed-rung intersection condition from the real
+// quorum.TaxiAssignments values (not the extracted literals) at every
+// experiment site count; the recomputed verdict must match speccheck's.
+// Then confirm the runtime meaning of the one refutation: a history
+// that violates Q1 — exactly what non-intersecting Deq-initial and
+// Enq-final quorums admit — lands strictly below {Q1} in
+// core.TaxiSimpleLattice's WeakestAccepting, so the forfeited claim is
+// observable, not a formality.
+func TestSpecVerdictsMatchWeakestAccepting(t *testing.T) {
+	sitesSet := map[int]bool{experiments.Default().Sites: true}
+	for n := 3; n <= 7; n++ {
+		sitesSet[n] = true
+	}
+	rels := map[string]quorum.Relation{"Q1": quorum.Q1(), "Q2": quorum.Q2()}
+	for n := range sitesSet {
+		proof := proofFor(t, repoPackages(t), n)
+		real := quorum.TaxiAssignments(n)
+		// Joint guarantee at floor rung r: every claimed constraint's
+		// pairs intersect across every ordered pair of active rungs.
+		holdsJointly := func(floor int, name string) bool {
+			rel := rels[name]
+			for _, pr := range rel.Pairs() {
+				for ai := 0; ai <= floor; ai++ {
+					va := real[proof.Ladder[ai]]
+					qi, _ := va.Quorums(string(pr.Inv))
+					for bi := 0; bi <= floor; bi++ {
+						vb := real[proof.Ladder[bi]]
+						qf, _ := vb.Quorums(string(pr.Op))
+						if qi.Initial+qf.Final <= va.TotalWeight() {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		for _, tbl := range proof.Tables {
+			for _, v := range tbl.Entries {
+				floor := ladderIndex(proof.Ladder, v.Rung)
+				if floor == len(proof.Ladder) {
+					t.Fatalf("n=%d: verdict rung %q not on ladder %v", n, v.Rung, proof.Ladder)
+				}
+				want := "trivial"
+				if len(v.Claims) > 0 {
+					want = "certified"
+					for _, c := range v.Claims {
+						if !holdsJointly(floor, c) {
+							want = "refuted"
+							break
+						}
+					}
+				}
+				if v.Verdict != want {
+					t.Errorf("n=%d %s[%q]: speccheck says %s, recomputation from quorum package says %s",
+						n, tbl.Name, v.Rung, v.Verdict, want)
+				}
+			}
+		}
+	}
+	// Runtime confirmation via the lattice. A Q1 violation (request 1
+	// dequeued while the earlier, better request 2 is unserved) is
+	// accepted only below {Q1}; a Q2 violation (request 1 served twice)
+	// only below {Q2}. These are the behaviors the refuted mixed-rung
+	// quorums admit, so WeakestAccepting must place them outside the
+	// claimed sets.
+	lat := core.TaxiSimpleLattice()
+	u := lat.Universe
+	q1 := u.Named(core.ConstraintQ1)
+	q2 := u.Named(core.ConstraintQ2)
+	cases := []struct {
+		name    string
+		h       history.History
+		losing  string
+		exclude uint64
+	}{
+		{"Q1-violation", history.History{history.Enq(2), history.Enq(1), history.DeqOk(1)}, "Q1", uint64(q1)},
+		{"Q2-violation", history.History{history.Enq(1), history.DeqOk(1), history.DeqOk(1)}, "Q2", uint64(q2)},
+	}
+	for _, c := range cases {
+		weakest, ok := lat.WeakestAccepting(c.h)
+		if !ok {
+			t.Fatalf("%s: no lattice element accepts %v", c.name, c.h)
+		}
+		for _, s := range weakest {
+			if uint64(s)&c.exclude != 0 {
+				t.Errorf("%s: WeakestAccepting includes %s, but the history violates %s", c.name, u.Format(s), c.losing)
+			}
+		}
+	}
+	// And a legal priority-order history (best = largest, served
+	// first) — what the certified top rung promises — stays at the top
+	// of the lattice.
+	legal := history.History{history.Enq(1), history.Enq(2), history.DeqOk(2), history.DeqOk(1)}
+	weakest, ok := lat.WeakestAccepting(legal)
+	if !ok || len(weakest) != 1 || weakest[0] != u.All() {
+		t.Errorf("legal priority-order history: WeakestAccepting = %v (ok=%v), want exactly {Q1,Q2}", weakest, ok)
+	}
+}

@@ -46,3 +46,25 @@ func Malformed() {
 	//lint:ignore err-drop
 	_ = fallible()
 }
+
+// Unknown names a pass that does not exist: the suppression is
+// rejected (bad-ignore) and the err-drop finding still fires.
+func Unknown() {
+	//lint:ignore err-dropp typo'd pass name
+	_ = fallible()
+}
+
+// Stale carries a well-formed suppression with nothing to suppress:
+// unused-ignore.
+func Stale() int {
+	//lint:ignore err-drop the call this once justified is gone
+	return 0
+}
+
+// Multi names two passes in one directive: err-drop suppresses the
+// finding below and counts as used, spec-purity suppresses nothing in
+// this package and is reported unused — usage is tracked per pass.
+func Multi() {
+	//lint:ignore err-drop,spec-purity fixture demonstrates per-pass usage tracking
+	_ = fallible()
+}

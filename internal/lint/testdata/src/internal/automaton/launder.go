@@ -1,0 +1,45 @@
+// launder.go exercises det-taint. Every nondeterministic value below
+// arrives through helpers in the (legal) timeutil package, so no
+// time.* or rand.* selector appears in this file and the syntactic
+// det-time/det-rand passes provably miss all of it. The taint pass
+// follows the values through returns, parameters, conversions, and
+// struct fields.
+package automaton
+
+import "fixture/timeutil"
+
+// Epoch is model state a laundered wall-clock read leaks into.
+type Epoch struct {
+	startNanos int64
+}
+
+// Mark stores a laundered wall-clock read in model state: det-taint
+// reports both the call and the store.
+func (e *Epoch) Mark() {
+	e.startNanos = timeutil.Stamp()
+}
+
+// MarkVia launders through two helper levels: still caught.
+func (e *Epoch) MarkVia() {
+	v := timeutil.StampVia()
+	e.startNanos = v
+}
+
+// Shuffle seeds model state from the global RNG via a helper and a
+// conversion.
+func (e *Epoch) Shuffle() {
+	e.startNanos = int64(timeutil.Jitter(10))
+}
+
+// Scaled passes only constants through a parameter-forwarding helper:
+// clean.
+func (e *Epoch) Scaled() int64 {
+	return timeutil.Scale(2, 3)
+}
+
+// SuppressedMark is the same laundered read with a justified
+// suppression: silent, and the directive counts as used.
+func (e *Epoch) SuppressedMark() {
+	//lint:ignore det-taint fixture demonstrates suppression of a laundered read
+	e.startNanos = timeutil.Stamp()
+}

@@ -1,0 +1,99 @@
+// Package lockorder exercises the lock-order pass: acquisition cycles
+// observed directly, through call summaries, and through "guarded by"
+// annotations, plus a consistent ordering that stays silent.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+	muD sync.Mutex
+	muE sync.Mutex
+	muF sync.Mutex
+)
+
+// AThenB nests muB under muA.
+func AThenB() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	defer muB.Unlock()
+}
+
+// BThenA nests in the opposite order: a cycle with AThenB.
+func BThenA() {
+	muB.Lock()
+	defer muB.Unlock()
+	muA.Lock()
+	defer muA.Unlock()
+}
+
+// Ordered nests muB under muA again — consistent with AThenB, so it
+// adds no cycle.
+func Ordered() {
+	muA.Lock()
+	defer muA.Unlock()
+	muB.Lock()
+	muB.Unlock()
+}
+
+// Reentrant re-locks a mutex it already holds: sync.Mutex is not
+// reentrant, so this cycle of length one is a self-deadlock.
+func Reentrant() {
+	muC.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muC.Unlock()
+}
+
+func lockD() {
+	muD.Lock()
+	defer muD.Unlock()
+}
+
+func lockE() {
+	muE.Lock()
+	defer muE.Unlock()
+}
+
+// DThenE holds muD while calling a helper that takes muE; EThenD does
+// the reverse. The cycle is visible only through call summaries.
+func DThenE() {
+	muD.Lock()
+	defer muD.Unlock()
+	lockE()
+}
+
+func EThenD() {
+	muE.Lock()
+	defer muE.Unlock()
+	lockD()
+}
+
+// Guarded has an annotated field; bump is a caller-holds helper, so
+// the annotation tells the pass its callers hold Guarded.mu.
+type Guarded struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+//lint:ignore lock-guard caller holds mu (fixture: annotation-implied lock-order edge)
+func (g *Guarded) bump() { g.n++ }
+
+// FThenGuard holds muF across a call that requires Guarded.mu;
+// GuardThenF takes muF while holding Guarded.mu: a cycle closed by
+// the annotation rather than an observed Lock.
+func FThenGuard(g *Guarded) {
+	muF.Lock()
+	defer muF.Unlock()
+	g.bump()
+}
+
+func (g *Guarded) GuardThenF() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	muF.Lock()
+	muF.Unlock()
+}

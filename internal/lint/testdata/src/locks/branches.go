@@ -1,0 +1,68 @@
+// branches.go exercises the lock-balance branch cases: conditional
+// defers, early returns out of nested guard blocks, and read locks.
+package locks
+
+import "sync"
+
+// Pool has a guarded free list.
+type Pool struct {
+	mu   sync.Mutex
+	free []int // guarded by mu
+}
+
+// ConditionalDefer registers the deferred unlock on one branch and
+// unlocks manually on the other: every path releases, so it is clean.
+func (p *Pool) ConditionalDefer(b bool) int {
+	p.mu.Lock()
+	if b {
+		defer p.mu.Unlock()
+		return len(p.free)
+	}
+	p.mu.Unlock()
+	return 0
+}
+
+// NestedGuard locks inside a branch and releases before the branch
+// returns: clean.
+func (p *Pool) NestedGuard(b bool) int {
+	if b {
+		p.mu.Lock()
+		n := len(p.free)
+		p.mu.Unlock()
+		return n
+	}
+	return 0
+}
+
+// NestedLeak locks inside a branch whose inner early return skips the
+// unlock: lock-balance finding.
+func (p *Pool) NestedLeak(b, c bool) int {
+	if b {
+		p.mu.Lock()
+		if c {
+			return -1
+		}
+		p.mu.Unlock()
+	}
+	return 0
+}
+
+// Registry guards a map with a read-write lock.
+type Registry struct {
+	rw sync.RWMutex
+	m  map[string]int // guarded by rw
+}
+
+// Read pairs RLock with an immediate deferred RUnlock: clean.
+func (r *Registry) Read(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.m[k]
+}
+
+// ReadLeak takes the read lock and never releases it: lock-balance
+// finding.
+func (r *Registry) ReadLeak(k string) int {
+	r.rw.RLock()
+	return r.m[k]
+}

@@ -1,0 +1,157 @@
+// Package quorumspec mirrors the repository's quorum-assignment and
+// claim-table literals in miniature, as the speccheck fixture: the
+// certifier must extract the thresholds, the constraint universe, the
+// intersection relations, the ladder, and both claim tables from this
+// source alone, certify TaxiClaims, and refute TaxiRungLevels's "Q1"
+// entry with a concrete mixed-rung witness.
+package quorumspec
+
+// Operation and constraint names, resolved through the type checker's
+// constant folding like their cross-package counterparts in the real
+// tree.
+const (
+	NameEnq = "Enq"
+	NameDeq = "Deq"
+
+	ConstraintQ1 = "Q1"
+	ConstraintQ2 = "Q2"
+)
+
+// OpQuorums gives one operation's initial/final thresholds.
+type OpQuorums struct{ Initial, Final int }
+
+// Voting is a weighted-voting assignment (structure only; the fixture
+// never runs it).
+type Voting struct {
+	total int
+	ops   map[string]OpQuorums
+}
+
+// NewVoting builds an assignment.
+func NewVoting(weights []int, ops map[string]OpQuorums) *Voting {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	return &Voting{total: total, ops: ops}
+}
+
+func ones(n int) []int {
+	w := make([]int, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// Set is a constraint bitmask.
+type Set uint64
+
+// Constraint is one universe element.
+type Constraint struct{ Name, Desc string }
+
+// Universe is an ordered constraint universe.
+type Universe struct{ names []string }
+
+// NewUniverse builds a universe.
+func NewUniverse(cs ...Constraint) *Universe {
+	u := &Universe{}
+	for _, c := range cs {
+		u.names = append(u.names, c.Name)
+	}
+	return u
+}
+
+// All returns the full constraint set.
+func (u *Universe) All() Set { return Set(1)<<uint(len(u.names)) - 1 }
+
+// Named returns the set holding the named constraints.
+func (u *Universe) Named(names ...string) Set {
+	var s Set
+	for _, n := range names {
+		for i, un := range u.names {
+			if un == n {
+				s |= 1 << uint(i)
+			}
+		}
+	}
+	return s
+}
+
+// Pair is one intersection requirement.
+type Pair struct{ Inv, Op string }
+
+// Relation is a set of pairs.
+type Relation struct{ pairs []Pair }
+
+// NewRelation builds a relation.
+func NewRelation(ps ...Pair) Relation { return Relation{pairs: ps} }
+
+// Q1: each initial Deq quorum intersects each final Enq quorum.
+func Q1() Relation { return NewRelation(Pair{Inv: NameDeq, Op: NameEnq}) }
+
+// Q2: each initial Deq quorum intersects each final Deq quorum.
+func Q2() Relation { return NewRelation(Pair{Inv: NameDeq, Op: NameDeq}) }
+
+// TaxiUniverse returns the {Q1, Q2} universe.
+func TaxiUniverse() *Universe {
+	return NewUniverse(
+		Constraint{Name: ConstraintQ1, Desc: "initial Deq intersects final Enq"},
+		Constraint{Name: ConstraintQ2, Desc: "initial Deq intersects final Deq"},
+	)
+}
+
+// TaxiAssignments returns the per-rung assignments over n sites.
+func TaxiAssignments(n int) map[string]*Voting {
+	maj := n/2 + 1
+	one := 1
+	return map[string]*Voting{
+		"Q1Q2": NewVoting(ones(n), map[string]OpQuorums{
+			NameEnq: {Initial: one, Final: n - maj + 1},
+			NameDeq: {Initial: maj, Final: maj},
+		}),
+		"Q1": NewVoting(ones(n), map[string]OpQuorums{
+			NameEnq: {Initial: one, Final: n - n/2 + 1},
+			NameDeq: {Initial: n / 2, Final: one},
+		}),
+		"none": NewVoting(ones(n), map[string]OpQuorums{
+			NameEnq: {Initial: one, Final: one},
+			NameDeq: {Initial: one, Final: one},
+		}),
+	}
+}
+
+// Level is one degradation-ladder rung.
+type Level struct {
+	Name    string
+	Quorums *Voting
+}
+
+// TaxiLadder returns the rungs, strongest first.
+func TaxiLadder(n int) []Level {
+	a := TaxiAssignments(n)
+	return []Level{
+		{Name: "Q1Q2", Quorums: a["Q1Q2"]},
+		{Name: "Q1", Quorums: a["Q1"]},
+		{Name: "none", Quorums: a["none"]},
+	}
+}
+
+// TaxiClaims claims only at the top rung: the certifier certifies it.
+func TaxiClaims(u *Universe) map[string]Set {
+	return map[string]Set{
+		"Q1Q2": u.All(),
+		"Q1":   0,
+		"none": 0,
+	}
+}
+
+// TaxiRungLevels claims Q1 at the Q1 rung, which mixed-rung quorums do
+// not support: the certifier refutes it.
+func TaxiRungLevels(u *Universe) map[string]Set {
+	return map[string]Set{
+		"Q1Q2": u.All(),
+		"Q1":   u.Named(ConstraintQ1),
+		"none": 0,
+	}
+}

@@ -1,0 +1,30 @@
+// Package timeutil is a fixture helper package OUTSIDE the model-layer
+// list: its own wall-clock and RNG reads are perfectly legal here,
+// which is exactly what makes it a laundering vector. The syntactic
+// det-time/det-rand passes scan model packages only, so a
+// nondeterministic value arriving through one of these helpers is
+// invisible to them — TestTaintCatchesSyntacticMiss pins that miss.
+// det-taint summarizes this package and follows the values across the
+// package boundary.
+package timeutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp launders the wall clock through a return value.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Passthrough is an identity wrapper: taint flows through parameters.
+func Passthrough(v int64) int64 { return v }
+
+// StampVia launders through two helper levels.
+func StampVia() int64 { return Passthrough(Stamp()) }
+
+// Jitter launders the global RNG.
+func Jitter(n int) int { return rand.Intn(n) }
+
+// Scale carries no source of its own: its result is tainted exactly
+// when its arguments are.
+func Scale(v, k int64) int64 { return v * k }
