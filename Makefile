@@ -1,7 +1,7 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-json vet fmt lint lint-v2 experiments verify examples clean
+.PHONY: all build test race fuzz bench bench-json bench-conc vet fmt lint lint-v2 experiments verify examples clean
 
 all: build vet lint test
 
@@ -15,7 +15,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/relaxcheck/ ./internal/integration/ ./cmd/...
+	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/relaxcheck/ ./internal/integration/ ./internal/conc/ ./cmd/...
 
 # Short native-fuzzing smoke: each target gets a bounded budget on top
 # of its checked-in seed corpus (testdata/fuzz). CI runs this; longer
@@ -30,11 +30,39 @@ bench:
 
 # Machine-readable benchmark snapshot (ns/op + allocs) for PR
 # before/after comparisons, with the deterministic obs metrics snapshot
-# of a full experiment sweep embedded alongside the timings.
+# of a full experiment sweep embedded alongside the timings. The output
+# file is BENCH_OUT= (default BENCH_PR3.json); committed BENCH_PR*.json
+# snapshots are historical evidence, so overwriting an existing one
+# requires FORCE=1.
+BENCH_OUT ?= BENCH_PR3.json
 bench-json:
+	@if [ -e "$(BENCH_OUT)" ] && [ "$(FORCE)" != "1" ]; then \
+		case "$(BENCH_OUT)" in BENCH_PR*.json) \
+			echo "bench-json: refusing to overwrite committed snapshot $(BENCH_OUT); rerun with FORCE=1"; \
+			exit 1;; \
+		esac; \
+	fi
 	$(GO) run ./cmd/relaxctl run -parallel -metrics .bench-metrics.json all >/dev/null
-	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -metrics .bench-metrics.json -o BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -run='^$$' . | $(GO) run ./cmd/benchjson -metrics .bench-metrics.json -o "$(BENCH_OUT)"
 	rm -f .bench-metrics.json
+
+# The lock-free-structure throughput sweep (internal/conc): scalability
+# curves plus the deep-backlog priority regime, converted to JSON with
+# speedups over the strict baselines. The E10 experiment benchmark runs
+# alongside so the allocation delta against BENCH_PR3.json lands in the
+# same snapshot. Honors the same BENCH_OUT/FORCE discipline as
+# bench-json, defaulting to BENCH_PR7.json.
+bench-conc: BENCH_OUT = BENCH_PR7.json
+bench-conc:
+	@if [ -e "$(BENCH_OUT)" ] && [ "$(FORCE)" != "1" ]; then \
+		case "$(BENCH_OUT)" in BENCH_PR*.json) \
+			echo "bench-conc: refusing to overwrite committed snapshot $(BENCH_OUT); rerun with FORCE=1"; \
+			exit 1;; \
+		esac; \
+	fi
+	( $(GO) test -run='^$$' -bench='BenchmarkConc' -benchtime=300ms -timeout=20m ./internal/conc/ \
+	  && $(GO) test -run='^$$' -bench='Benchmark_E10' -benchmem . ) \
+		| $(GO) run ./cmd/benchjson -prev BENCH_PR3.json -o "$(BENCH_OUT)"
 
 vet:
 	$(GO) vet ./...

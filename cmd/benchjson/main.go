@@ -1,14 +1,27 @@
 // benchjson converts `go test -bench` output on stdin into a JSON
-// snapshot: one record per benchmark with iterations, ns/op, and (when
-// -benchmem is on) B/op and allocs/op. It exists so benchmark numbers
-// can be committed and diffed across PRs (see `make bench-json`).
+// snapshot: one record per benchmark with iterations, ns/op, the
+// ops/sec metric when a benchmark reports one, and (when -benchmem is
+// on) B/op and allocs/op. It exists so benchmark numbers can be
+// committed and diffed across PRs (see `make bench-json`).
+//
+// Benchmarks named BenchmarkConc*/q=<queue>/w=<workers> (the
+// internal/conc throughput sweep) are additionally grouped under
+// "conc" into per-queue scalability curves — workers on the x axis,
+// aggregate ops/sec on the y — with each relaxed structure's speedup
+// over its strict baseline (strict for queues, strictpq for priority
+// queues) computed point-by-point.
+//
+// With -prev FILE (an earlier snapshot from this tool), benchmarks
+// whose deterministic allocation profile moved are listed under
+// "deltas" with before/after values, so an optimisation PR carries its
+// own evidence.
 //
 // With -metrics FILE (an obs snapshot written by `relaxctl run
 // -metrics`), the snapshot is embedded under "obs" along with a small
 // derived "obs_summary" (engine dedup rate, peak frontier) so a bench
-// diff shows *why* numbers moved, not just that they did. Both fields
-// are omitempty, so output without -metrics is schema-identical to
-// earlier PRs' snapshots.
+// diff shows *why* numbers moved, not just that they did. All of these
+// fields are omitempty, so output without the flags is
+// schema-identical to earlier PRs' snapshots.
 package main
 
 import (
@@ -28,6 +41,7 @@ type Result struct {
 	Name        string  `json:"name"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
@@ -39,8 +53,41 @@ type Snapshot struct {
 	Pkg        string        `json:"pkg,omitempty"`
 	CPU        string        `json:"cpu,omitempty"`
 	Benchmarks []Result      `json:"benchmarks"`
+	Conc       []ConcCurve   `json:"conc,omitempty"`
+	Deltas     []Delta       `json:"deltas,omitempty"`
 	Obs        *obs.Snapshot `json:"obs,omitempty"`
 	ObsSummary *ObsSummary   `json:"obs_summary,omitempty"`
+}
+
+// ConcCurve is one structure's scalability curve from a
+// BenchmarkConc* sweep: aggregate throughput per worker count, with
+// the speedup over the strict baseline at each point. Baselines carry
+// no baseline/speedup fields of their own.
+type ConcCurve struct {
+	Family   string      `json:"family"`
+	Queue    string      `json:"queue"`
+	Baseline string      `json:"baseline,omitempty"`
+	Points   []ConcPoint `json:"points"`
+}
+
+// ConcPoint is one (workers, throughput) sample of a curve.
+type ConcPoint struct {
+	Workers   int     `json:"workers"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Speedup   float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// Delta is one benchmark whose allocation profile changed against the
+// -prev snapshot. Only the deterministic memory metrics gate inclusion
+// — ns/op is carried along as context but is too noisy to diff on.
+type Delta struct {
+	Name              string  `json:"name"`
+	NsPerOpBefore     float64 `json:"ns_per_op_before"`
+	NsPerOpAfter      float64 `json:"ns_per_op_after"`
+	BytesPerOpBefore  int64   `json:"bytes_per_op_before"`
+	BytesPerOpAfter   int64   `json:"bytes_per_op_after"`
+	AllocsPerOpBefore int64   `json:"allocs_per_op_before"`
+	AllocsPerOpAfter  int64   `json:"allocs_per_op_after"`
 }
 
 // ObsSummary is the digest of an embedded metrics snapshot: the
@@ -73,11 +120,25 @@ func summarize(s *obs.Snapshot) *ObsSummary {
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	metrics := flag.String("metrics", "", "obs snapshot JSON (from relaxctl run -metrics) to embed")
+	prev := flag.String("prev", "", "earlier benchjson snapshot to diff allocation profiles against")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *prev != "" {
+		data, err := os.ReadFile(*prev)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var p Snapshot
+		if err := json.Unmarshal(data, &p); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *prev, err)
+			os.Exit(1)
+		}
+		snap.Deltas = diff(&p, snap)
 	}
 	if *metrics != "" {
 		data, err := os.ReadFile(*metrics)
@@ -135,7 +196,97 @@ func parse(sc *bufio.Scanner) (*Snapshot, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	snap.Conc = concCurves(snap.Benchmarks)
 	return snap, nil
+}
+
+// concCurves groups conc-sweep benchmark results into per-queue
+// scalability curves and computes each relaxed structure's speedup
+// over its strict baseline at matching worker counts.
+func concCurves(results []Result) []ConcCurve {
+	var curves []ConcCurve
+	idx := map[string]int{} // family+"/"+queue → curves index
+	for _, r := range results {
+		family, queue, w, ok := concName(r.Name)
+		if !ok || r.OpsPerSec == 0 {
+			continue
+		}
+		key := family + "/" + queue
+		i, seen := idx[key]
+		if !seen {
+			i = len(curves)
+			idx[key] = i
+			curves = append(curves, ConcCurve{Family: family, Queue: queue})
+		}
+		curves[i].Points = append(curves[i].Points, ConcPoint{Workers: w, OpsPerSec: r.OpsPerSec})
+	}
+	for i := range curves {
+		base := "strict"
+		if strings.Contains(curves[i].Queue, "pq") {
+			base = "strictpq"
+		}
+		if curves[i].Queue == base {
+			continue
+		}
+		bi, ok := idx[curves[i].Family+"/"+base]
+		if !ok {
+			continue
+		}
+		curves[i].Baseline = base
+		for p := range curves[i].Points {
+			for _, bp := range curves[bi].Points {
+				if bp.Workers == curves[i].Points[p].Workers && bp.OpsPerSec > 0 {
+					curves[i].Points[p].Speedup = curves[i].Points[p].OpsPerSec / bp.OpsPerSec
+					break
+				}
+			}
+		}
+	}
+	return curves
+}
+
+// concName parses BenchmarkConc*/q=<queue>/w=<workers>[-P] names.
+func concName(name string) (family, queue string, workers int, ok bool) {
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 || !strings.HasPrefix(parts[0], "BenchmarkConc") ||
+		!strings.HasPrefix(parts[1], "q=") || !strings.HasPrefix(parts[2], "w=") {
+		return "", "", 0, false
+	}
+	ws := strings.TrimPrefix(parts[2], "w=")
+	if i := strings.IndexByte(ws, '-'); i >= 0 { // -P GOMAXPROCS suffix
+		ws = ws[:i]
+	}
+	w, err := strconv.Atoi(ws)
+	if err != nil || w < 1 {
+		return "", "", 0, false
+	}
+	return parts[0], strings.TrimPrefix(parts[1], "q="), w, true
+}
+
+// diff lists benchmarks present in both snapshots whose deterministic
+// allocation profile (B/op or allocs/op) moved.
+func diff(prev, cur *Snapshot) []Delta {
+	old := map[string]Result{}
+	for _, r := range prev.Benchmarks {
+		old[r.Name] = r
+	}
+	var deltas []Delta
+	for _, r := range cur.Benchmarks {
+		p, ok := old[r.Name]
+		if !ok || (p.BytesPerOp == r.BytesPerOp && p.AllocsPerOp == r.AllocsPerOp) {
+			continue
+		}
+		deltas = append(deltas, Delta{
+			Name:              r.Name,
+			NsPerOpBefore:     p.NsPerOp,
+			NsPerOpAfter:      r.NsPerOp,
+			BytesPerOpBefore:  p.BytesPerOp,
+			BytesPerOpAfter:   r.BytesPerOp,
+			AllocsPerOpBefore: p.AllocsPerOp,
+			AllocsPerOpAfter:  r.AllocsPerOp,
+		})
+	}
+	return deltas
 }
 
 // parseBench parses one benchmark result line, e.g.
@@ -156,15 +307,19 @@ func parseBench(line string) (Result, bool) {
 	}
 	r := Result{Name: f[0], Iterations: iters, NsPerOp: ns}
 	for i := 4; i+1 < len(f); i += 2 {
-		v, err := strconv.ParseInt(f[i], 10, 64)
-		if err != nil {
-			continue
-		}
 		switch f[i+1] {
 		case "B/op":
-			r.BytesPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				r.BytesPerOp = v
+			}
 		case "allocs/op":
-			r.AllocsPerOp = v
+			if v, err := strconv.ParseInt(f[i], 10, 64); err == nil {
+				r.AllocsPerOp = v
+			}
+		case "ops/sec":
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				r.OpsPerSec = v
+			}
 		}
 	}
 	return r, true

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sweepOutput = `goos: linux
+goarch: amd64
+pkg: relaxlattice/internal/conc
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkConc/q=strict/w=1         	21391651	        16.66 ns/op	  60013144 ops/sec
+BenchmarkConc/q=seg-k16/w=1        	43045084	         8.588 ns/op	 116448221 ops/sec
+BenchmarkConc/q=strict/w=4-4       	20000000	        20.00 ns/op	  50000000 ops/sec
+BenchmarkConc/q=seg-k16/w=4-4      	40000000	         5.000 ns/op	 200000000 ops/sec
+BenchmarkConc/q=strictpq/w=1       	15564118	        21.30 ns/op	  46959283 ops/sec
+BenchmarkConc/q=lanepq-b8/w=1      	34291298	        11.52 ns/op	  86788033 ops/sec
+BenchmarkConcPQDeep/q=strictpq/w=8 	 4000000	        80.00 ns/op	  12500000 ops/sec
+BenchmarkConcPQDeep/q=lanepq-b8/w=8	30000000	        16.00 ns/op	  62500000 ops/sec
+Benchmark_E10_BankAccount-4        	       2	505000000 ns/op	201000000 B/op	  1200000 allocs/op
+PASS
+`
+
+func parseSweep(t *testing.T) *Snapshot {
+	t.Helper()
+	snap, err := parse(bufio.NewScanner(strings.NewReader(sweepOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestParseOpsPerSec(t *testing.T) {
+	snap := parseSweep(t)
+	if len(snap.Benchmarks) != 9 {
+		t.Fatalf("parsed %d benchmarks, want 9", len(snap.Benchmarks))
+	}
+	r := snap.Benchmarks[0]
+	if r.Name != "BenchmarkConc/q=strict/w=1" || r.OpsPerSec != 60013144 {
+		t.Fatalf("first result = %+v, want strict/w=1 at 60013144 ops/sec", r)
+	}
+	e10 := snap.Benchmarks[8]
+	if e10.OpsPerSec != 0 || e10.BytesPerOp != 201000000 || e10.AllocsPerOp != 1200000 {
+		t.Fatalf("E10 result = %+v, want no ops/sec and the -benchmem pair", e10)
+	}
+}
+
+func TestConcCurves(t *testing.T) {
+	snap := parseSweep(t)
+	curves := map[string]ConcCurve{}
+	for _, c := range snap.Conc {
+		curves[c.Family+"/"+c.Queue] = c
+	}
+	if len(curves) != 6 {
+		t.Fatalf("built %d curves, want 6: %v", len(curves), snap.Conc)
+	}
+
+	seg := curves["BenchmarkConc/seg-k16"]
+	if seg.Baseline != "strict" || len(seg.Points) != 2 {
+		t.Fatalf("seg-k16 curve = %+v, want strict baseline with 2 points", seg)
+	}
+	// The w=4 point carries the GOMAXPROCS suffix in the raw name;
+	// grouping must strip it and still match the baseline point.
+	if p := seg.Points[1]; p.Workers != 4 || p.Speedup != 4.0 {
+		t.Fatalf("seg-k16 w=4 point = %+v, want workers=4 speedup=4", p)
+	}
+
+	// Priority queues baseline against strictpq, across families.
+	lp := curves["BenchmarkConcPQDeep/lanepq-b8"]
+	if lp.Baseline != "strictpq" || len(lp.Points) != 1 || lp.Points[0].Speedup != 5.0 {
+		t.Fatalf("deep lanepq curve = %+v, want strictpq baseline speedup 5", lp)
+	}
+
+	// Baselines carry no speedup of their own.
+	if s := curves["BenchmarkConc/strict"]; s.Baseline != "" || s.Points[0].Speedup != 0 {
+		t.Fatalf("strict baseline curve = %+v, want no baseline/speedup", s)
+	}
+}
+
+func TestDiffGatesOnAllocationProfile(t *testing.T) {
+	prev := &Snapshot{Benchmarks: []Result{
+		{Name: "Benchmark_E10_BankAccount-4", NsPerOp: 900000000, BytesPerOp: 422000000, AllocsPerOp: 2000000},
+		{Name: "BenchmarkStable-4", NsPerOp: 100, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkGone-4", NsPerOp: 50},
+	}}
+	cur := &Snapshot{Benchmarks: []Result{
+		{Name: "Benchmark_E10_BankAccount-4", NsPerOp: 505000000, BytesPerOp: 201000000, AllocsPerOp: 1200000},
+		// Same allocation profile, different ns/op: too noisy to list.
+		{Name: "BenchmarkStable-4", NsPerOp: 120, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkNew-4", NsPerOp: 10},
+	}}
+	deltas := diff(prev, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("diff listed %d deltas, want 1: %+v", len(deltas), deltas)
+	}
+	d := deltas[0]
+	if d.Name != "Benchmark_E10_BankAccount-4" ||
+		d.BytesPerOpBefore != 422000000 || d.BytesPerOpAfter != 201000000 ||
+		d.AllocsPerOpBefore != 2000000 || d.AllocsPerOpAfter != 1200000 {
+		t.Fatalf("delta = %+v, want the E10 allocation cut", d)
+	}
+}

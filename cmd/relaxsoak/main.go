@@ -11,11 +11,18 @@
 // repetitions and across GOMAXPROCS settings (the whole workload runs
 // on a single-threaded discrete-event engine).
 //
+// A third mode, conc, soaks the lock-free relaxed structures of
+// internal/conc: real goroutines on real shared memory, each recorded
+// run certified against the structure's claimed lattice element. The
+// schedule there is genuinely nondeterministic, so the verdict line is
+// the deterministic artifact — it names the structure, its claim, and
+// the certification outcome, never schedule-dependent counts.
+//
 // Usage:
 //
-//	relaxsoak [-mode cluster|txn|both] [-workload uniform|bursty|skewed|fault-correlated|all]
+//	relaxsoak [-mode cluster|txn|both|conc] [-workload uniform|bursty|skewed|fault-correlated|all]
 //	          [-seed N] [-clients N] [-ops N] [-sites N] [-dequeuers N]
-//	          [-sample N] [-calm] [-metrics F] [-trace F]
+//	          [-workers N] [-sample N] [-calm] [-metrics F] [-trace F]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"runtime/pprof"
 
 	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/conc"
 	"relaxlattice/internal/obs"
 	"relaxlattice/internal/relaxcheck"
 )
@@ -39,13 +47,14 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("relaxsoak", flag.ContinueOnError)
-	mode := fs.String("mode", "both", "what to soak: cluster, txn, or both")
+	mode := fs.String("mode", "both", "what to soak: cluster, txn, both, or conc")
 	workload := fs.String("workload", "uniform", "workload kind (uniform, bursty, skewed, fault-correlated, or all)")
 	seed := fs.Int64("seed", 1987, "root seed for the deterministic run")
 	clients := fs.Int("clients", 200, "concurrent clients")
 	ops := fs.Int("ops", 10000, "operations per run")
 	sites := fs.Int("sites", 5, "cluster sites")
 	dequeuers := fs.Int("dequeuers", 3, "txn-mode concurrent dequeuer bound (spool universe size)")
+	workers := fs.Int("workers", 4, "conc-mode goroutines per structure")
 	sample := fs.Int("sample", 0, "record the checker verdict every N ops")
 	calm := fs.Bool("calm", false, "disable the stochastic background fault process (cluster mode)")
 	metricsPath := fs.String("metrics", "", "write the deterministic metrics snapshot (JSON) to this file")
@@ -64,6 +73,14 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *mode == "conc" {
+		if runConc(w, *workers, *ops) {
+			return fmt.Errorf("lattice-level violations detected")
+		}
+		fmt.Fprintln(w, "all conc runs landed inside their claimed lattice levels")
+		return nil
 	}
 
 	var kinds []relaxcheck.Kind
@@ -125,6 +142,43 @@ func run(args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "all soak runs landed inside their claimed lattice levels")
 	return nil
+}
+
+// runConc soaks every internal/conc structure with `workers`
+// goroutines sharing `ops` operations, then certifies each recorded
+// history at the structure's claimed rung. Output lines carry only
+// schedule-independent facts so the report text stays deterministic
+// even though the interleavings are not.
+func runConc(w io.Writer, workers, ops int) (failed bool) {
+	per := ops / workers
+	if per < 1 {
+		per = 1
+	}
+	structures := []func(j *conc.Journal) conc.RelaxedQueue{
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewStrict(j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewSegQueue(16, workers+1, j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewSegQueue(64, workers+1, j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewDupQueue(j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewShardPQ(8, 2, 1, j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewLanePQ(workers+1, 8, j) },
+		func(j *conc.Journal) conc.RelaxedQueue { return conc.NewStrictPQ(j) },
+	}
+	for _, mk := range structures {
+		j := conc.NewJournal(workers * per)
+		q := mk(j)
+		conc.RunWorkload(q, workers, per)
+		verdict := "certified"
+		if d := j.Dropped(); d != 0 {
+			verdict = "FAIL (journal overflow)"
+			failed = true
+		} else if v := conc.Certify(q.Claim(), j.History(), workers).Violation(); v != nil {
+			verdict = fmt.Sprintf("FAIL (%v)", v)
+			failed = true
+		}
+		fmt.Fprintf(w, "conc     %-16s workers=%d claim=%s verdict=%s\n",
+			q.Name(), workers, q.Claim().Level, verdict)
+	}
+	return failed
 }
 
 func printReport(w io.Writer, mode string, kind relaxcheck.Kind, r *relaxcheck.SoakReport) {

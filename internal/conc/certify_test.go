@@ -1,0 +1,198 @@
+package conc
+
+import (
+	"fmt"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/relaxcheck"
+)
+
+// certRun drives a structure concurrently and certifies the recorded
+// history at its claimed rung. This is the conformance suite the
+// lattice turns into: the claim is about *observed* histories, and
+// every recorded run must land at (or above) the claimed element.
+func certRun(t *testing.T, name string, mk func(j *Journal) RelaxedQueue, workers, opsPerWorker int) {
+	t.Helper()
+	t.Run(fmt.Sprintf("%s/w=%d", name, workers), func(t *testing.T) {
+		j := NewJournal(workers * opsPerWorker)
+		q := mk(j)
+		RunWorkload(q, workers, opsPerWorker)
+		if d := j.Dropped(); d != 0 {
+			t.Fatalf("journal dropped %d ops; size the journal to the run", d)
+		}
+		h := j.History()
+		if len(h) == 0 {
+			t.Fatal("empty recorded history")
+		}
+		ck := Certify(q.Claim(), h, workers)
+		if v := ck.Violation(); v != nil {
+			t.Fatalf("%s history of %d ops rejected at claimed rung %q: %v",
+				q.Name(), len(h), q.Claim().Level, v)
+		}
+		if ck.Steps() != len(h) {
+			t.Fatalf("checker observed %d steps, want %d", ck.Steps(), len(h))
+		}
+	})
+}
+
+// Every structure's recorded histories are accepted at its claimed
+// lattice element, single-threaded and concurrent.
+func TestCertifyClaims(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func(j *Journal) RelaxedQueue
+	}{
+		{"strict", func(j *Journal) RelaxedQueue { return NewStrict(j) }},
+		{"seg-k4", func(j *Journal) RelaxedQueue { return NewSegQueue(4, 5, j) }},
+		{"seg-k64", func(j *Journal) RelaxedQueue { return NewSegQueue(64, 5, j) }},
+		{"dup", func(j *Journal) RelaxedQueue { return NewDupQueue(j) }},
+		{"shardpq", func(j *Journal) RelaxedQueue { return NewShardPQ(8, 2, 1, j) }},
+		{"lanepq", func(j *Journal) RelaxedQueue { return NewLanePQ(5, 8, j) }},
+		{"strictpq", func(j *Journal) RelaxedQueue { return NewStrictPQ(j) }},
+	}
+	for _, c := range cases {
+		certRun(t, c.name, c.mk, 1, 4000)
+		certRun(t, c.name, c.mk, 4, 2500)
+	}
+}
+
+// The deliberately over-strong claim: the k-segment queue claimed at
+// strict FIFO. The lane cursors make the refuting schedule
+// deterministic — Enq(1)·Enq(2)·Deq()/Ok(2)·Deq()/Ok(1) — and
+// relaxcheck pins the violation at step 3 with the concrete witness
+// operation. The same history is accepted at the structure's honest
+// rung, so the refutation is exactly the FIFO constraint failing, not
+// a broken queue.
+func TestCertifyRefutesOverstrongFIFOClaim(t *testing.T) {
+	j := NewJournal(16)
+	q := NewSegQueue(2, 2, j)
+	if first, second := segWitnessSchedule(q); first != 2 || second != 1 {
+		t.Fatalf("witness schedule broke: served %d then %d, want 2 then 1", first, second)
+	}
+	h := j.History()
+	wantH := history.History{
+		history.Enq(1), history.Enq(2),
+		history.DeqOk(2), history.DeqOk(1),
+	}
+	if len(h) != len(wantH) {
+		t.Fatalf("recorded %d ops, want %d", len(h), len(wantH))
+	}
+	for i := range h {
+		if !h[i].Equal(wantH[i]) {
+			t.Fatalf("recorded[%d] = %v, want %v", i, h[i], wantH[i])
+		}
+	}
+
+	// Honest claim: accepted.
+	if v := Certify(q.Claim(), h, 1).Violation(); v != nil {
+		t.Fatalf("honest claim %q rejected the witness history: %v", q.Claim().Level, v)
+	}
+
+	// Over-strong claim: refuted with the pinned witness.
+	over := q.Claim()
+	over.Level = LevelFIFO
+	v := Certify(over, h, 1).Violation()
+	if v == nil {
+		t.Fatal("strict-FIFO claim for the k-segment queue was not refuted")
+	}
+	if v.Kind != relaxcheck.KindClaim {
+		t.Fatalf("violation kind = %q, want %q", v.Kind, relaxcheck.KindClaim)
+	}
+	if v.Step != 3 {
+		t.Fatalf("violation step = %d, want 3", v.Step)
+	}
+	if !v.Op.Equal(history.DeqOk(2)) {
+		t.Fatalf("violation op = %v, want %v", v.Op, history.DeqOk(2))
+	}
+	if want := "fifo={X, R}"; v.Claim != want {
+		t.Fatalf("violation claim = %q, want %q", v.Claim, want)
+	}
+}
+
+// The duplicating queue's honest claim would also refute a strict
+// claim the moment a stutter lands — pin that with a hand-built
+// history rather than waiting on a racy schedule.
+func TestCertifyRefutesExclusiveClaimForDup(t *testing.T) {
+	q := NewDupQueue(nil)
+	c := q.Claim()
+	h := history.History{
+		history.Enq(1), history.Enq(2),
+		history.DeqOk(1), history.DeqOk(1), // a stutter: two racers returned the front
+		history.DeqOk(2),
+	}
+	// Accepted at the honest {R} rung for w ≥ 2 (stutter bound w).
+	if v := Certify(c, h, 2).Violation(); v != nil {
+		t.Fatalf("stutter history rejected at honest rung: %v", v)
+	}
+	// Refuted at the exclusive rung: elements must not repeat.
+	over := c
+	over.Level = LevelExclusive
+	v := Certify(over, h, 2).Violation()
+	if v == nil {
+		t.Fatal("exclusive claim survived a duplicated dequeue")
+	}
+	if v.Step != 4 || !v.Op.Equal(history.DeqOk(1)) {
+		t.Fatalf("violation at step %d op %v, want step 4 op %v", v.Step, v.Op, history.DeqOk(1))
+	}
+}
+
+// The sharded PQ's honest claim is refutable too: serving a
+// lower-priority element while a better one is pending violates the
+// strict-PQ rung but sits inside OPQueue.
+func TestCertifyRefutesStrictClaimForShardPQ(t *testing.T) {
+	q := NewShardPQ(2, 1, 1, nil)
+	c := q.Claim()
+	h := history.History{
+		history.Enq(5), history.Enq(9),
+		history.DeqOk(5), // not the best: 9 is pending
+		history.DeqOk(9),
+	}
+	if v := Certify(c, h, 1).Violation(); v != nil {
+		t.Fatalf("out-of-order service rejected at honest rung: %v", v)
+	}
+	over := c
+	over.Level = LevelPQ
+	v := Certify(over, h, 1).Violation()
+	if v == nil {
+		t.Fatal("strict-PQ claim survived out-of-priority service")
+	}
+	if v.Step != 3 || !v.Op.Equal(history.DeqOk(5)) {
+		t.Fatalf("violation at step %d op %v, want step 3 op %v", v.Step, v.Op, history.DeqOk(5))
+	}
+}
+
+// The lane PQ refutes a strict claim by construction too: a dequeuer
+// whose sample lands on the plain shard serves its element while a
+// better one waits in an unsampled shard. Driven through the real
+// structure — one shard, batch 1, so the first claim takes the worse,
+// older element.
+func TestCertifyRefutesStrictClaimForLanePQ(t *testing.T) {
+	j := NewJournal(16)
+	q := NewLanePQ(1, 1, j)
+	q.Enq(5)
+	q.Enq(9)
+	if v, ok := q.Deq(); !ok || v != 5 {
+		t.Fatalf("witness schedule broke: Deq = %d,%v, want 5,true", v, ok)
+	}
+	if v, ok := q.Deq(); !ok || v != 9 {
+		t.Fatalf("witness schedule broke: second Deq = %d,%v, want 9,true", v, ok)
+	}
+	h := j.History()
+	if len(h) != 4 {
+		t.Fatalf("recorded %d ops, want 4", len(h))
+	}
+	c := q.Claim()
+	if v := Certify(c, h, 1).Violation(); v != nil {
+		t.Fatalf("witness history rejected at honest rung %q: %v", c.Level, v)
+	}
+	over := c
+	over.Level = LevelPQ
+	v := Certify(over, h, 1).Violation()
+	if v == nil {
+		t.Fatal("strict-PQ claim survived the lane PQ's out-of-priority service")
+	}
+	if v.Step != 3 || !v.Op.Equal(history.DeqOk(5)) {
+		t.Fatalf("violation at step %d op %v, want step 3 op %v", v.Step, v.Op, history.DeqOk(5))
+	}
+}

@@ -1,0 +1,101 @@
+// Package conc implements raw-speed concurrent relaxed queues whose
+// observed histories land on the paper's relaxation lattices. Each
+// structure trades a constraint of the strict specification for
+// scalability — exactly the degraded behaviors of Section 4 (semiqueue,
+// stuttering queue, out-of-order priority queue), built on purpose as
+// the scalability literature does — and declares the lattice element it
+// claims. The linearization-point recorder (recorder.go) turns a
+// concurrent run into a history.Op stream that relaxcheck certifies
+// against the claim, so the lattice doubles as a conformance suite for
+// fast concurrent objects.
+package conc
+
+import (
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/relaxcheck"
+)
+
+// RelaxedQueue is the common face of the concurrent structures: a
+// queue-like object with totally ordered int elements. Deq reports
+// ok=false when the structure observes nothing ready to dequeue; such
+// misses are not operations of the specification and are never
+// recorded. All methods are safe for concurrent use.
+type RelaxedQueue interface {
+	// Name identifies the structure in benchmarks and reports.
+	Name() string
+	// Enq inserts an element.
+	Enq(e int)
+	// Deq removes an element per the structure's relaxation.
+	Deq() (int, bool)
+	// Claim declares the lattice element the structure's recorded
+	// histories are certified against.
+	Claim() Claim
+}
+
+// Enqueuer is a producer handle: a single-goroutine fast path into a
+// lane-structured queue. Handles are not safe for concurrent use with
+// themselves; distinct handles are safe with each other and with the
+// plain RelaxedQueue methods.
+type Enqueuer interface {
+	Enq(e int)
+}
+
+// Dequeuer is a consumer handle: a single-goroutine cursor with a
+// private serve buffer. Elements claimed into a buffer but not yet
+// served are invisible to other dequeuers; they are served by the
+// handle's later Deq calls.
+type Dequeuer interface {
+	Deq() (int, bool)
+}
+
+// HandledQueue is implemented by structures whose fast path runs
+// through per-goroutine handles. RunWorkload and the benchmarks drive
+// these through handles; the plain RelaxedQueue methods remain the
+// serialized slow path for handle-free callers.
+type HandledQueue interface {
+	RelaxedQueue
+	NewEnqueuer() Enqueuer
+	NewDequeuer() Dequeuer
+}
+
+// Claim locates a structure on a relaxation lattice. The lattice is
+// parameterized by the number of dequeuing goroutines because the
+// recorder's ticket order admits one in-flight inversion per dequeuer
+// (see the soundness discussion on Journal); the claimed automaton
+// absorbs that bounded skew.
+type Claim struct {
+	// Lattice builds the relaxation lattice for executions observed by
+	// at most `dequeuers` concurrent dequeuing goroutines.
+	Lattice func(dequeuers int) *lattice.Relaxation
+	// Levels maps rung names to the constraint sets they claim — the
+	// relaxcheck.Options.Claims table for this lattice.
+	Levels func(lat *lattice.Relaxation) map[string]lattice.Set
+	// Level is the rung the structure claims for its own histories.
+	Level string
+}
+
+// Certify replays a recorded history against a claim: it builds the
+// claim's lattice for the given dequeuer count, registers the claimed
+// rung, and feeds the history to a fresh online checker. The returned
+// checker's Violation() is nil iff every prefix of the history is
+// accepted at the claimed lattice element.
+func Certify(c Claim, h history.History, dequeuers int) *relaxcheck.Checker {
+	lat := c.Lattice(dequeuers)
+	ck := relaxcheck.New(lat, relaxcheck.Options{Claims: c.Levels(lat)})
+	ck.ObserveClaim(0, c.Level)
+	for _, op := range h {
+		ck.ObserveOp(op)
+	}
+	return ck
+}
+
+// splitmix64 is the SplitMix64 mixer: a cheap stateless hash used to
+// seed per-handle sampling state from creation indexes, so concurrent
+// dequeuers spread over shards without sharing RNG state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

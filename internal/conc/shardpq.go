@@ -1,0 +1,189 @@
+package conc
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"relaxlattice/internal/history"
+)
+
+// maxChoices bounds the d-choice sample size (keeps the candidate
+// buffer on the stack).
+const maxChoices = 16
+
+type pqShard struct {
+	mu sync.Mutex
+	// heap is a binary max-heap; guarded by mu.
+	heap []int
+	// rng draws the d-choice shard sample; seeded per shard at
+	// construction so single-threaded runs are deterministic.
+	// Guarded by mu.
+	rng *rand.Rand
+}
+
+// ShardPQ is the d-choice sharded relaxed priority queue: elements
+// spread round-robin over per-shard max-heaps, and Deq pops the best
+// of d sampled shards — the MultiQueue design the scalability
+// literature uses to relax strict priority order. Each element is
+// removed exactly once under its shard's lock (tickets are taken
+// inside the lock), so the structure keeps constraint Q₂ of the
+// paper's Section 3.3 universe and trades Q₁: it lands exactly on the
+// OPQueue rung, with no observation-skew slack at any dequeuer count.
+//
+// Shard locks are never nested: the home shard is unlocked before
+// candidates are peeked, and each peek and the final pop take one lock
+// at a time, so the lock-acquisition graph stays acyclic.
+type ShardPQ struct {
+	shards []pqShard
+	d      int
+	rr     atomic.Uint64
+	j      *Journal
+}
+
+// NewShardPQ returns an empty sharded priority queue with the given
+// shard count and sample size d, recording into j (nil for unrecorded
+// runs). Per-shard RNGs are seeded from seed. It panics on a shard
+// count < 1 or d outside [1, maxChoices].
+func NewShardPQ(shards, d int, seed int64, j *Journal) *ShardPQ {
+	if shards < 1 || d < 1 || d > maxChoices {
+		panic(fmt.Sprintf("conc: NewShardPQ(shards=%d, d=%d), need shards ≥ 1, 1 ≤ d ≤ %d", shards, d, maxChoices))
+	}
+	q := &ShardPQ{shards: make([]pqShard, shards), d: d, j: j}
+	for i := range q.shards {
+		q.shards[i].rng = rand.New(rand.NewSource(seed + int64(i)))
+		q.shards[i].heap = make([]int, 0, 64)
+	}
+	return q
+}
+
+// Name implements RelaxedQueue.
+func (q *ShardPQ) Name() string { return fmt.Sprintf("shardpq-s%d-d%d", len(q.shards), q.d) }
+
+// Claim implements RelaxedQueue: the {Q₂} rung — OPQueue.
+func (q *ShardPQ) Claim() Claim {
+	return Claim{
+		Lattice: PQLattice,
+		Levels:  PQLevels,
+		Level:   LevelAnyOrder,
+	}
+}
+
+// Enq implements RelaxedQueue: round-robin shard placement.
+func (q *ShardPQ) Enq(e int) {
+	s := &q.shards[q.rr.Add(1)%uint64(len(q.shards))]
+	s.mu.Lock()
+	s.heap = heapPush(s.heap, e)
+	if q.j != nil {
+		q.j.Record(q.j.Tick(), history.Enq(e))
+	}
+	s.mu.Unlock()
+}
+
+// Deq implements RelaxedQueue: peek the home shard and d−1 sampled
+// candidates, pop the best seen; sweep every shard once before
+// reporting empty.
+func (q *ShardPQ) Deq() (int, bool) {
+	n := len(q.shards)
+	home := int(q.rr.Add(1) % uint64(n))
+	var cbuf [maxChoices]int
+	cand := cbuf[:0]
+	hs := &q.shards[home]
+	hs.mu.Lock()
+	best, bestOK := peekMax(hs.heap)
+	bestShard := home
+	for i := 1; i < q.d && i < n; i++ {
+		cand = append(cand, hs.rng.Intn(n))
+	}
+	hs.mu.Unlock()
+	for _, c := range cand {
+		if c == home {
+			continue
+		}
+		cs := &q.shards[c]
+		cs.mu.Lock()
+		v, ok := peekMax(cs.heap)
+		cs.mu.Unlock()
+		if ok && (!bestOK || v > best) {
+			best, bestOK, bestShard = v, true, c
+		}
+	}
+	if bestOK {
+		if v, ok := q.popShard(bestShard); ok {
+			return v, true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := q.popShard((home + i) % n); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// popShard removes one shard's best element; the ticket is taken under
+// the shard lock, after the removal, so Enq(e) always ticks before the
+// Deq returning e (they serialize on the same lock).
+func (q *ShardPQ) popShard(i int) (int, bool) {
+	s := &q.shards[i]
+	s.mu.Lock()
+	v, ok := popMax(&s.heap)
+	if ok && q.j != nil {
+		q.j.Record(q.j.Tick(), history.DeqOk(v))
+	}
+	s.mu.Unlock()
+	return v, ok
+}
+
+// heapPush inserts e into the max-heap.
+func heapPush(h []int, e int) []int {
+	h = append(h, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+// peekMax reads the max-heap's root.
+func peekMax(h []int) (int, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0], true
+}
+
+// popMax removes the max-heap's root.
+func popMax(h *[]int) (int, bool) {
+	s := *h
+	if len(s) == 0 {
+		return 0, false
+	}
+	v := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(s) && s[l] > s[m] {
+			m = l
+		}
+		if r < len(s) && s[r] > s[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	*h = s
+	return v, true
+}

@@ -1,0 +1,57 @@
+package conc
+
+import (
+	"sync"
+
+	"relaxlattice/internal/history"
+)
+
+// StrictPQ is the mutex-guarded strict priority queue: the baseline
+// the sharded PQ is benchmarked against. One lock, one heap, tickets
+// taken under the lock — it claims the top of the Section 3.3 lattice
+// exactly.
+type StrictPQ struct {
+	mu sync.Mutex
+	// heap is a binary max-heap; guarded by mu.
+	heap []int
+	j    *Journal
+}
+
+// NewStrictPQ returns an empty strict priority queue recording into j
+// (nil for unrecorded runs).
+func NewStrictPQ(j *Journal) *StrictPQ {
+	return &StrictPQ{heap: make([]int, 0, 1024), j: j}
+}
+
+// Name implements RelaxedQueue.
+func (q *StrictPQ) Name() string { return "strictpq" }
+
+// Claim implements RelaxedQueue: the {Q₁,Q₂} rung — the priority queue.
+func (q *StrictPQ) Claim() Claim {
+	return Claim{
+		Lattice: PQLattice,
+		Levels:  PQLevels,
+		Level:   LevelPQ,
+	}
+}
+
+// Enq implements RelaxedQueue.
+func (q *StrictPQ) Enq(e int) {
+	q.mu.Lock()
+	q.heap = heapPush(q.heap, e)
+	if q.j != nil {
+		q.j.Record(q.j.Tick(), history.Enq(e))
+	}
+	q.mu.Unlock()
+}
+
+// Deq implements RelaxedQueue: removes the best element.
+func (q *StrictPQ) Deq() (int, bool) {
+	q.mu.Lock()
+	v, ok := popMax(&q.heap)
+	if ok && q.j != nil {
+		q.j.Record(q.j.Tick(), history.DeqOk(v))
+	}
+	q.mu.Unlock()
+	return v, ok
+}

@@ -1,0 +1,47 @@
+package conc
+
+import "sync"
+
+// RunWorkload drives q with `workers` goroutines, each alternating
+// enqueues and dequeues for opsPerWorker operations. Enqueued elements
+// are globally unique (worker g enqueues g·opsPerWorker + i), which
+// keeps certification frontiers small: every Deq matches exactly one
+// journal position. Dequeues that observe nothing ready return without
+// recording, so the journal holds only specification operations.
+//
+// A HandledQueue is driven through per-worker handles — the fast path
+// the structure is built around, and the one certification should
+// exercise; other structures go through the plain methods. The
+// function returns after all workers quiesce — the point at which the
+// journal's History is complete (elements still sitting in dequeuer
+// buffers were never served, so they are correctly absent from it).
+func RunWorkload(q RelaxedQueue, workers, opsPerWorker int) {
+	hq, handled := q.(HandledQueue)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		var enq Enqueuer = q
+		var deq Dequeuer = plainDequeuer{q}
+		if handled {
+			enq = hq.NewEnqueuer()
+			deq = hq.NewDequeuer()
+		}
+		go func(g int, enq Enqueuer, deq Dequeuer) {
+			defer wg.Done()
+			base := g * opsPerWorker
+			for i := 0; i < opsPerWorker; i++ {
+				if i%2 == 0 {
+					enq.Enq(base + i)
+				} else {
+					deq.Deq()
+				}
+			}
+		}(g, enq, deq)
+	}
+	wg.Wait()
+}
+
+// plainDequeuer adapts a RelaxedQueue's Deq to the Dequeuer shape.
+type plainDequeuer struct{ q RelaxedQueue }
+
+func (p plainDequeuer) Deq() (int, bool) { return p.q.Deq() }

@@ -115,6 +115,16 @@ type Config struct {
 // simulated clock and injected RNG alone; and the online relaxation
 // checker, whose verdicts certify byte-identical soak replays) and the
 // specification catalog.
+//
+// internal/conc is deliberately absent: it is the runtime concurrency
+// layer — lock-free structures whose schedules are inherently
+// nondeterministic and whose guarantees are certified after the fact
+// by relaxcheck over recorded histories, not pinned by lint. Its
+// per-shard sampling state is seeded only so single-threaded witness
+// schedules replay; holding it to det-time/det-rand would outlaw the
+// very nondeterminism the lattice exists to classify. The
+// path-unscoped families (lock discipline, error discipline) still
+// apply to it in full.
 func DefaultConfig() Config {
 	return Config{
 		ModelPaths: []string{

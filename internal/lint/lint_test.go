@@ -78,6 +78,7 @@ var golden = []string{
 	"internal/automaton/launder.go:25:2: [det-taint] value derived from the wall clock stored in field startNanos; model-layer state must be deterministic",
 	"internal/automaton/launder.go:31:2: [det-taint] value derived from the global RNG stored in field startNanos; model-layer state must be deterministic",
 	"internal/automaton/launder.go:31:23: [det-taint] call to Jitter returns a value derived from the global RNG; model-layer code must take such inputs explicitly",
+	"internal/conc/conc.go:59:2: [lock-balance] s.mu locked but never released in this function; use defer s.mu.Unlock()",
 	"internal/obs/obs.go:53:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
 	"internal/specs/impure.go:13:2: [spec-purity] spec package function writes package-level variable hits; specs must be pure",
 	"internal/specs/impure.go:14:2: [spec-purity] spec package function writes package-level variable registry; specs must be pure",
@@ -161,6 +162,35 @@ func TestTaintCatchesSyntacticMiss(t *testing.T) {
 	}
 	if taint < 3 {
 		t.Errorf("det-taint found %d findings in %s, want at least 3 (call, store, and two-level launder)", taint, launder)
+	}
+}
+
+// TestConcLayerClassification pins the scoping decision for the
+// runtime concurrency layer: internal/conc is NOT a model-layer path,
+// so its fixture — which reads the wall clock, draws from the global
+// RNG, and stores both in fields — produces no determinism findings of
+// any family, while the path-unscoped lock rules still fire on it.
+// The mirror-image fixture internal/automaton proves the same sources
+// would be flagged inside ModelPaths, so a silent conc fixture means
+// "exempt", not "rule broken".
+func TestConcLayerClassification(t *testing.T) {
+	if pathMatches("fixture/internal/conc", DefaultConfig().ModelPaths) {
+		t.Fatal("internal/conc matched ModelPaths; the concurrency layer must stay exempt from determinism rules")
+	}
+	lockFindings := 0
+	for _, d := range runFixtures(t, "./...") {
+		if !strings.HasPrefix(d.File, "internal/conc/") {
+			continue
+		}
+		switch d.Rule {
+		case "det-time", "det-rand", "det-taint", "det-maporder":
+			t.Errorf("determinism rule fired on the concurrency layer: %s", d)
+		case "lock-balance", "lock-guard", "lock-order":
+			lockFindings++
+		}
+	}
+	if lockFindings == 0 {
+		t.Error("no lock-family finding on internal/conc; lock discipline must apply to every layer")
 	}
 }
 

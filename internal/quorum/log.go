@@ -19,9 +19,42 @@ func (e Entry) String() string { return e.TS.String() + " " + e.Op.String() }
 
 // Log is a replicated object's representation: a sequence of entries
 // sorted by timestamp with no duplicate timestamps. The zero value is
-// the empty log. Logs are immutable; operations return new logs.
+// the empty log. Logs are observably immutable; operations return new
+// logs.
+//
+// Internally, logs derived by Append share one backing array and track
+// the claimed tail through a high-water mark, so a chain of appends —
+// the dominant pattern in quorum propagation, where every site log is
+// the latest extension of an earlier view — extends in place with
+// amortized-constant allocation instead of copying the whole log per
+// entry. The first append past a fork (two logs extending the same
+// prefix) falls back to a copy, preserving value semantics. The mark
+// makes Append on aliases of one log unsafe across goroutines; the
+// runtimes never share a Log between goroutines (each cluster runs on
+// a single discrete-event engine), and everything else on a Log is a
+// pure read.
 type Log struct {
 	entries []Entry
+	// hwm is the number of entries of the backing array already claimed
+	// by some log in this family; nil for logs built before tracking
+	// (subslices, the zero value), which always copy on append.
+	hwm *int
+}
+
+// growCap returns the backing-array capacity for a log of n entries:
+// exact for tiny logs, then 1.5× headroom so append chains reallocate
+// O(log n) times instead of every entry.
+func growCap(n int) int {
+	if n < 8 {
+		return n
+	}
+	return n + n/2
+}
+
+// fresh wraps entries in a Log owning its backing array's tail.
+func fresh(entries []Entry) Log {
+	n := len(entries)
+	return Log{entries: entries, hwm: &n}
 }
 
 type byTS []Entry
@@ -35,7 +68,7 @@ func (s byTS) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
 func LogOf(entries ...Entry) Log {
 	sorted := append([]Entry(nil), entries...)
 	sort.Stable(byTS(sorted))
-	return Log{entries: dedup(sorted)}
+	return fresh(dedup(sorted))
 }
 
 // dedup removes adjacent duplicate timestamps in place (first wins).
@@ -52,16 +85,23 @@ func dedup(sorted []Entry) []Entry {
 // Append returns the log extended with a new entry (inserted in
 // timestamp order; an entry whose timestamp is already present is
 // discarded as a duplicate). Appending past the maximal timestamp —
-// every freshly ticked entry — takes one exact-size copy instead of a
-// merge.
+// every freshly ticked entry — extends the shared backing array in
+// place when this log is the family's latest extension (the high-water
+// mark matches), and otherwise takes one amortized-growth copy.
 func (l Log) Append(e Entry) Log {
 	if n := len(l.entries); n == 0 || l.entries[n-1].TS.Less(e.TS) {
-		out := make([]Entry, n+1)
+		if l.hwm != nil && *l.hwm == n && n < cap(l.entries) {
+			ext := l.entries[:n+1]
+			ext[n] = e
+			*l.hwm = n + 1
+			return Log{entries: ext, hwm: l.hwm}
+		}
+		out := make([]Entry, n+1, growCap(n+1))
 		copy(out, l.entries)
 		out[n] = e
-		return Log{entries: out}
+		return fresh(out)
 	}
-	return merge2(l.entries, []Entry{e})
+	return merge2(l, Log{entries: []Entry{e}})
 }
 
 // Merge merges logs in timestamp order, discarding duplicates — the
@@ -77,7 +117,7 @@ func Merge(logs ...Log) Log {
 	}
 	acc := logs[0]
 	for _, l := range logs[1:] {
-		acc = merge2(acc.entries, l.entries)
+		acc = merge2(acc, l)
 	}
 	return acc
 }
@@ -106,26 +146,38 @@ func containsAll(sup, sub []Entry) bool {
 	return true
 }
 
-// merge2 merges two sorted entry slices, discarding duplicate
-// timestamps (left wins). When one side already contains the other —
-// the overwhelmingly common case in quorum propagation, where a site
-// receives a view that grew from its own log — the containing side's
-// slice is returned as-is. Logs are immutable, so sharing is safe, and
-// the no-op merge allocates nothing.
-func merge2(a, b []Entry) Log {
+// merge2 merges two sorted logs, discarding duplicate timestamps (left
+// wins). When one side already contains the other — the overwhelmingly
+// common case in quorum propagation, where a site receives a view that
+// grew from its own log — the containing side is returned as-is with
+// its high-water mark intact, so the chain of appends it anchors keeps
+// extending in place. Logs are observably immutable, so sharing is
+// safe, and the no-op merge allocates nothing. A genuine interleaving
+// allocates once with growth headroom for the appends that typically
+// follow a view assembly.
+func merge2(la, lb Log) Log {
+	a, b := la.entries, lb.entries
 	if len(a) == 0 {
-		return Log{entries: b}
+		return lb
 	}
 	if len(b) == 0 {
-		return Log{entries: a}
+		return la
 	}
 	if containsAll(b, a) {
-		return Log{entries: b}
+		return lb
 	}
 	if containsAll(a, b) {
-		return Log{entries: a}
+		return la
 	}
-	out := make([]Entry, 0, len(a)+len(b))
+	// Quorum merges are mostly-overlapping unions (the sites share the
+	// propagated prefix), so a len(a)+len(b) allocation would be ~2× the
+	// result. Pre-size to the larger side plus a sliver of the smaller;
+	// a genuinely disjoint merge grows once more via append.
+	capHint, small := len(a), len(b)
+	if small > capHint {
+		capHint, small = small, capHint
+	}
+	out := make([]Entry, 0, capHint+small/4+4)
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -143,7 +195,7 @@ func merge2(a, b []Entry) Log {
 	}
 	out = append(out, a[i:]...)
 	out = append(out, b[j:]...)
-	return Log{entries: out}
+	return fresh(out)
 }
 
 // Len returns the number of entries.

@@ -121,6 +121,116 @@ func TestCheckerClaimFloorIsIntersection(t *testing.T) {
 	}
 }
 
+// TestCheckerInterleavedMultiClientClaims drives claims from three
+// clients interleaved with operations: the floor is the running
+// intersection across *all* clients, one client re-asserting a strong
+// rung cannot raise it back while another client's weaker claim
+// stands, and each registration is journaled with its client id.
+func TestCheckerInterleavedMultiClientClaims(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	rec := obs.NewRecorder()
+	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe), Trace: rec})
+
+	c.ObserveClaim(0, "Q1Q2")
+	c.ObserveOp(history.Enq(1))
+	c.ObserveOp(history.DeqOk(1))
+	if f := c.FloorClaim(); !strings.HasPrefix(f, "Q1Q2=") {
+		t.Fatalf("FloorClaim after top claim = %q", f)
+	}
+
+	// A second client descends mid-stream: the floor drops to the
+	// intersection even though client 0's claim is still standing.
+	c.ObserveClaim(1, "Q1")
+	if f := c.FloorClaim(); !strings.HasPrefix(f, "Q1=") {
+		t.Fatalf("FloorClaim after interleaved descent = %q", f)
+	}
+
+	// Client 0 re-asserts the top between operations: the floor is an
+	// intersection, so one client ascending cannot outvote the weaker
+	// standing claim.
+	c.ObserveOp(history.Enq(2))
+	c.ObserveClaim(0, "Q1Q2")
+	if f := c.FloorClaim(); !strings.HasPrefix(f, "Q1=") {
+		t.Fatalf("FloorClaim after one-client ascent = %q", f)
+	}
+
+	// Duplicate delivery escapes the top rung but satisfies Q1: legal
+	// under the multi-client floor.
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveOp(history.DeqOk(2))
+	if c.Violation() != nil {
+		t.Fatalf("Q1 floor violated by a Q1-legal history: %+v", c.Violation())
+	}
+
+	// A third client dropping to the bottom rung empties the floor:
+	// everything is covered from here on.
+	c.ObserveClaim(2, "none")
+	if f := c.FloorClaim(); !strings.HasPrefix(f, "none=") {
+		t.Fatalf("FloorClaim after bottom claim = %q", f)
+	}
+	c.ObserveOp(history.DeqOk(1))
+	if c.Violation() != nil {
+		t.Fatalf("empty floor still violated: %+v", c.Violation())
+	}
+
+	// Every registration journaled, in order, with its client id.
+	var clients []string
+	for _, e := range rec.Events() {
+		if e.Name == "relaxcheck.claim" {
+			id, _ := e.Attr("client")
+			clients = append(clients, id)
+		}
+	}
+	if got, want := strings.Join(clients, ","), "0,1,0,2"; got != want {
+		t.Fatalf("journaled claim clients = %q, want %q", got, want)
+	}
+}
+
+// TestCheckerStickyClaimViolationOrdering pins the converse ordering
+// of TestCheckerExhaustedViolation: when a claim violation lands
+// first, a later lattice exhaustion neither replaces it nor re-fires
+// the callback — the first verdict is the one the run is judged by —
+// while the metrics keep counting every subsequent violation.
+func TestCheckerStickyClaimViolationOrdering(t *testing.T) {
+	lat := core.TaxiSimpleLattice()
+	reg := obs.NewRegistry()
+	fired := 0
+	c := New(lat, Options{
+		Claims:      TaxiRungLevels(lat.Universe),
+		Metrics:     reg,
+		OnViolation: func(Violation) { fired++ },
+	})
+	// Escape the top rung first (duplicate delivery), then claim it.
+	c.ObserveOp(history.Enq(2))
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveOp(history.DeqOk(2))
+	c.ObserveClaim(0, "Q1Q2")
+	v := c.Violation()
+	if v == nil || v.Kind != KindClaim || v.Step != 3 {
+		t.Fatalf("claim violation = %+v", v)
+	}
+
+	// A phantom op exhausts the whole lattice — a strictly worse
+	// verdict, but the first violation is sticky.
+	c.ObserveOp(history.DeqOk(9))
+	if got := c.Violation(); got.Kind != KindClaim || got.Step != 3 {
+		t.Fatalf("first violation replaced by later exhaustion: %+v", got)
+	}
+
+	// Another client repeating the broken claim counts in metrics but
+	// changes nothing else.
+	c.ObserveClaim(1, "Q1Q2")
+	if got := c.Violation(); got.Kind != KindClaim || got.Step != 3 {
+		t.Fatalf("first violation replaced by repeated claim: %+v", got)
+	}
+	if n, _ := reg.Snapshot().Counter("relaxcheck.violation"); n != 3 {
+		t.Fatalf("violation counter = %d, want 3 (claim, exhaustion, repeated claim)", n)
+	}
+	if fired != 1 {
+		t.Fatalf("OnViolation fired %d times, want 1", fired)
+	}
+}
+
 func TestCheckerUnknownClaimPanics(t *testing.T) {
 	lat := core.TaxiSimpleLattice()
 	c := New(lat, Options{Claims: TaxiRungLevels(lat.Universe)})

@@ -1,0 +1,82 @@
+package specs
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/value"
+)
+
+// MultiSemiqueue returns the FIFO queue with both Section 4 relaxations
+// composed in their multi-service form: Deq either serves one of the
+// first k pending (unserved) requests, marking it served, or re-serves
+// a request that was already served — requests may be serviced more
+// than once and up to k−1 positions out of arrival order, but are
+// never lost.
+//
+//	Enq(e)/Ok()  ensures q' = append(q, e)
+//	Deq()/Ok(e)  ensures (e ∈ prefix(pending(q), k) ∧ q' = serve(q, e))
+//	             ∨ (isServed(q, e) ∧ q' = q)
+//
+// This is the multi-service analog of SSqueue_jk: where SSqueue bounds
+// repeats at j by counting, MultiSemiqueue leaves the repeat count
+// free and tracks service marks instead, which keeps its transitions
+// deterministic on histories of distinct elements — each Deq argument
+// is either pending or served, never both. That determinism is what
+// makes the online frontier stay at one state per prefix, so relaxcheck
+// can certify multi-thousand-operation concurrent runs at this rung;
+// the counting SSqueue frontier branches keep-vs-remove on every Deq
+// and grows combinatorially. MultiSemiqueue(1) restricted to
+// single-service histories is the FIFO queue; it contains Semiqueue(k)
+// and MultiFIFOQueue's single-window histories. It panics if k < 1.
+func MultiSemiqueue(k int) *automaton.Spec {
+	if k < 1 {
+		panic(fmt.Sprintf("specs: MultiSemiqueue index k = %d, need k ≥ 1", k))
+	}
+	asServed := func(s value.Value) value.ServedSeq { return s.(value.ServedSeq) }
+	return automaton.NewSpec(fmt.Sprintf("MSqueue_%d", k), value.EmptyServedSeq(),
+		automaton.OpSpec{
+			Name: history.NameEnq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := enqElem(op)
+				if !ok {
+					return nil
+				}
+				return []value.Value{asServed(s).Append(e)}
+			},
+		},
+		automaton.OpSpec{
+			Name: history.NameDeq,
+			Succ: func(s value.Value, op history.Op) []value.Value {
+				e, ok := deqElem(op)
+				if !ok {
+					return nil
+				}
+				sv := asServed(s)
+				var succ []value.Value
+				// Serve one of the first k pending requests.
+				seen := 0
+				for i := 0; i < sv.Len() && seen < k; i++ {
+					if sv.IsServed(i) {
+						continue
+					}
+					seen++
+					if sv.Elem(i) == e {
+						succ = append(succ, sv.Serve(i))
+						break // identical value; one witness suffices
+					}
+				}
+				// Re-serve an already-served request; the value is
+				// unchanged.
+				for i := 0; i < sv.Len(); i++ {
+					if sv.IsServed(i) && sv.Elem(i) == e {
+						succ = append(succ, sv)
+						break
+					}
+				}
+				return succ
+			},
+		},
+	)
+}

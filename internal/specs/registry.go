@@ -22,6 +22,7 @@ func All() map[string]automaton.Automaton {
 		StutteringQueue(3),
 		SSQueue(1, 1),
 		SSQueue(2, 2),
+		MultiSemiqueue(2),
 		BankAccount(),
 		SpuriousAccount(),
 		OverdraftAccount(),

@@ -8,12 +8,12 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 17 {
+	if len(all) != 18 {
 		t.Fatalf("registry has %d automata", len(all))
 	}
 	for _, want := range []string{
 		"Bag", "FifoQueue", "PQueue", "MPQueue", "OPQueue", "DegenPQueue",
-		"Semiqueue_1", "Stuttering_2", "SSqueue_2_2",
+		"Semiqueue_1", "Stuttering_2", "SSqueue_2_2", "MSqueue_2",
 		"Account", "SpuriousAccount", "OverdraftAccount",
 	} {
 		if _, ok := all[want]; !ok {
