@@ -1,7 +1,7 @@
 # relaxlattice — reproduction of Herlihy & Wing, PODC 1987.
 GO ?= go
 
-.PHONY: all build test race fuzz bench bench-json bench-conc vet fmt lint lint-v2 experiments verify examples clean
+.PHONY: all build test race fuzz bench bench-json bench-conc bench-trace vet fmt lint lint-v2 experiments verify examples clean
 
 all: build vet lint test
 
@@ -24,6 +24,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEngineMatchesNaive -fuzztime=20s ./internal/automaton/
 	$(GO) test -fuzz=FuzzTaxiLatticeMonotonicity -fuzztime=20s ./internal/lattice/
 	$(GO) test -fuzz=FuzzStepCheckerMatchesOffline -fuzztime=20s ./internal/relaxcheck/
+	$(GO) test -fuzz=FuzzCheckpointResume -fuzztime=20s ./internal/relaxcheck/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -63,6 +64,25 @@ bench-conc:
 	( $(GO) test -run='^$$' -bench='BenchmarkConc' -benchtime=300ms -timeout=20m ./internal/conc/ \
 	  && $(GO) test -run='^$$' -bench='Benchmark_E10' -benchmem . ) \
 		| $(GO) run ./cmd/benchjson -prev BENCH_PR3.json -o "$(BENCH_OUT)"
+
+# The tracing/audit snapshot: span-emit, critical-path-analyze, and
+# checkpoint/resume benchmarks, plus the per-rung critical-path summary
+# of a pinned traced soak (relaxsoak -spans → benchjson -trace),
+# diffed against BENCH_PR7.json. Honors the same BENCH_OUT/FORCE
+# discipline, defaulting to BENCH_PR8.json.
+bench-trace: BENCH_OUT = BENCH_PR8.json
+bench-trace:
+	@if [ -e "$(BENCH_OUT)" ] && [ "$(FORCE)" != "1" ]; then \
+		case "$(BENCH_OUT)" in BENCH_PR*.json) \
+			echo "bench-trace: refusing to overwrite committed snapshot $(BENCH_OUT); rerun with FORCE=1"; \
+			exit 1;; \
+		esac; \
+	fi
+	$(GO) run ./cmd/relaxsoak -mode cluster -workload uniform -clients 10 -ops 400 -seed 3 -calm -spans .bench-spans.jsonl >/dev/null
+	( $(GO) test -run='^$$' -bench='BenchmarkSpanEmit|BenchmarkAnalyze' -benchmem ./internal/obs/trace/ \
+	  && $(GO) test -run='^$$' -bench='BenchmarkCheckpointRoundtrip|BenchmarkAuditObserve' -benchmem ./internal/relaxcheck/ ) \
+		| $(GO) run ./cmd/benchjson -trace .bench-spans.jsonl -prev BENCH_PR7.json -o "$(BENCH_OUT)"
+	rm -f .bench-spans.jsonl
 
 vet:
 	$(GO) vet ./...

@@ -19,7 +19,13 @@
 // With -metrics FILE (an obs snapshot written by `relaxctl run
 // -metrics`), the snapshot is embedded under "obs" along with a small
 // derived "obs_summary" (engine dedup rate, peak frontier) so a bench
-// diff shows *why* numbers moved, not just that they did. All of these
+// diff shows *why* numbers moved, not just that they did.
+//
+// With -trace FILE (a causal span stream exported by `relaxsoak
+// -spans`), the stream's critical-path analysis is digested under
+// "trace_summary": span volume, happens-before links, and each
+// degradation rung's share of the logical-time critical path — the
+// per-rung cost attribution of the traced protocol. All of these
 // fields are omitempty, so output without the flags is
 // schema-identical to earlier PRs' snapshots.
 package main
@@ -34,6 +40,7 @@ import (
 	"strings"
 
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 )
 
 // Result is one benchmark line.
@@ -57,6 +64,7 @@ type Snapshot struct {
 	Deltas     []Delta       `json:"deltas,omitempty"`
 	Obs        *obs.Snapshot `json:"obs,omitempty"`
 	ObsSummary *ObsSummary   `json:"obs_summary,omitempty"`
+	Trace      *TraceSummary `json:"trace_summary,omitempty"`
 }
 
 // ConcCurve is one structure's scalability curve from a
@@ -104,6 +112,40 @@ type ObsSummary struct {
 	ExpandDepths uint64 `json:"expand_depths"`
 }
 
+// TraceSummary is the digest of an embedded causal span stream (a
+// `relaxsoak -spans` export, analyzed the way cmd/relaxtrace does):
+// span volume and where the logical-time critical path went, per
+// degradation rung. A bench diff then shows how the traced protocol's
+// step mix moved, not just its allocation profile.
+type TraceSummary struct {
+	Spans        int         `json:"spans"`
+	Roots        int         `json:"roots"`
+	Links        int         `json:"links"`
+	CriticalTime int64       `json:"critical_time"`
+	ByRung       []RungShare `json:"by_rung,omitempty"`
+}
+
+// RungShare is one degradation rung's share of the critical path.
+type RungShare struct {
+	Rung     string `json:"rung"`
+	Spans    int    `json:"spans"`
+	Critical int64  `json:"critical"`
+}
+
+// summarizeTrace digests a critical-path analysis for embedding.
+func summarizeTrace(an trace.Analysis) *TraceSummary {
+	sum := &TraceSummary{
+		Spans:        an.Spans,
+		Roots:        an.Roots,
+		Links:        an.Links,
+		CriticalTime: an.Critical,
+	}
+	for _, r := range an.ByRung {
+		sum.ByRung = append(sum.ByRung, RungShare{Rung: r.Rung, Spans: r.Count, Critical: r.Critical})
+	}
+	return sum
+}
+
 // summarize derives the reviewer digest from a metrics snapshot.
 func summarize(s *obs.Snapshot) *ObsSummary {
 	sum := &ObsSummary{}
@@ -121,6 +163,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	metrics := flag.String("metrics", "", "obs snapshot JSON (from relaxctl run -metrics) to embed")
 	prev := flag.String("prev", "", "earlier benchjson snapshot to diff allocation profiles against")
+	tracePath := flag.String("trace", "", "causal span stream JSONL (from relaxsoak -spans) to summarize")
 	flag.Parse()
 	snap, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -139,6 +182,20 @@ func main() {
 			os.Exit(1)
 		}
 		snap.Deltas = diff(&p, snap)
+	}
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		spans, err := trace.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *tracePath, err)
+			os.Exit(1)
+		}
+		snap.Trace = summarizeTrace(trace.Analyze(spans))
 	}
 	if *metrics != "" {
 		data, err := os.ReadFile(*metrics)

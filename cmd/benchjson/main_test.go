@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"strings"
 	"testing"
+
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 )
 
 const sweepOutput = `goos: linux
@@ -99,5 +102,42 @@ func TestDiffGatesOnAllocationProfile(t *testing.T) {
 		d.BytesPerOpBefore != 422000000 || d.BytesPerOpAfter != 201000000 ||
 		d.AllocsPerOpBefore != 2000000 || d.AllocsPerOpAfter != 1200000 {
 		t.Fatalf("delta = %+v, want the E10 allocation cut", d)
+	}
+}
+
+// TestTraceSummary digests a small span stream the way -trace does:
+// round-trip through the JSONL codec, analyze, summarize.
+func TestTraceSummary(t *testing.T) {
+	tr := trace.NewTracer("bench", nil)
+	root := tr.Begin("op", obs.KV{K: "rung", V: "Q1Q2"})
+	s1 := root.Child("step1")
+	s1.End()
+	s2 := root.Child("step2")
+	s2.Link(s1.ID())
+	s2.End()
+	root.End()
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := trace.ReadJSONL(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := summarizeTrace(trace.Analyze(spans))
+	if sum.Spans != 3 || sum.Roots != 1 || sum.Links != 1 {
+		t.Fatalf("summary = %+v, want 3 spans / 1 root / 1 link", sum)
+	}
+	if sum.CriticalTime <= 0 {
+		t.Fatalf("critical time = %d, want positive", sum.CriticalTime)
+	}
+	found := false
+	for _, r := range sum.ByRung {
+		if r.Rung == "Q1Q2" && r.Spans == 3 && r.Critical > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("by_rung missing Q1Q2 attribution: %+v", sum.ByRung)
 	}
 }

@@ -18,11 +18,22 @@
 // the deterministic artifact — it names the structure, its claim, and
 // the certification outcome, never schedule-dependent counts.
 //
+// A fourth mode, audit, is the checkpointable audit sidecar: it replays
+// an exported observed history (-history, written by a cluster or txn
+// run) through the online checker alone, writing a resumable checkpoint
+// every -checkpoint-every operations. A run killed at any point (or cut
+// short with -stop-at) resumes from its checkpoint (-resume) and, by
+// the checkpoint/restore soundness property (DESIGN.md §14), reaches
+// exactly the verdicts of the run that was never interrupted.
+//
 // Usage:
 //
-//	relaxsoak [-mode cluster|txn|both|conc] [-workload uniform|bursty|skewed|fault-correlated|all]
+//	relaxsoak [-mode cluster|txn|both|conc|audit] [-workload uniform|bursty|skewed|fault-correlated|all]
 //	          [-seed N] [-clients N] [-ops N] [-sites N] [-dequeuers N]
 //	          [-workers N] [-sample N] [-calm] [-metrics F] [-trace F]
+//	          [-spans F] [-flight F] [-history F]
+//	          [-lattice taxi|spool] [-checkpoint F] [-checkpoint-every N]
+//	          [-resume F] [-stop-at N] [-window N] [-frontier-cap N]
 package main
 
 import (
@@ -34,7 +45,11 @@ import (
 
 	"relaxlattice/internal/cluster"
 	"relaxlattice/internal/conc"
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/relaxcheck"
 )
 
@@ -59,6 +74,16 @@ func run(args []string, w io.Writer) error {
 	calm := fs.Bool("calm", false, "disable the stochastic background fault process (cluster mode)")
 	metricsPath := fs.String("metrics", "", "write the deterministic metrics snapshot (JSON) to this file")
 	tracePath := fs.String("trace", "", "write the logical-clock event journal (JSON Lines) to this file")
+	spansPath := fs.String("spans", "", "write the causal span stream (JSON Lines) to this file")
+	flightPath := fs.String("flight", "", "on the first violation, dump the degradation flight recorder (JSON Lines) to this file")
+	historyPath := fs.String("history", "", "cluster/txn: write the audited history to this file; audit: read it")
+	auditLattice := fs.String("lattice", "taxi", "audit-mode lattice: taxi (cluster histories) or spool (txn histories)")
+	checkpointPath := fs.String("checkpoint", "", "audit mode: write a resumable checker checkpoint to this file")
+	checkpointEvery := fs.Int("checkpoint-every", 1000, "audit mode: checkpoint every N observed operations (plus one at exit)")
+	resumePath := fs.String("resume", "", "audit mode: resume from this checkpoint instead of the empty history")
+	stopAt := fs.Int("stop-at", 0, "audit mode: stop after N total operations (simulates a kill; 0 = run to the end)")
+	window := fs.Int("window", 0, "audit mode: keep only the most recent N sampled verdicts")
+	frontierCap := fs.Int("frontier-cap", 0, "audit mode: abandon lattice elements whose frontier exceeds N states (bounded memory; suppresses violations while any element is abandoned)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +98,21 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *mode == "audit" {
+		return runAudit(w, auditConfig{
+			historyPath:     *historyPath,
+			lattice:         *auditLattice,
+			dequeuers:       *dequeuers,
+			sample:          *sample,
+			window:          *window,
+			frontierCap:     *frontierCap,
+			checkpointPath:  *checkpointPath,
+			checkpointEvery: *checkpointEvery,
+			resumePath:      *resumePath,
+			stopAt:          *stopAt,
+		})
 	}
 
 	if *mode == "conc" {
@@ -96,6 +136,30 @@ func run(args []string, w io.Writer) error {
 
 	reg := obs.NewRegistry()
 	rec := obs.NewRecorder()
+	var spans *trace.Tracer
+	if *spansPath != "" {
+		spans = trace.NewTracer("soak", nil)
+	}
+	var flight *trace.FlightRecorder
+	flightDumped := false
+	onViolation := func(v relaxcheck.Violation) {
+		if flightDumped {
+			return
+		}
+		flightDumped = true
+		if err := dumpFlight(*flightPath, flight, v); err != nil {
+			fmt.Fprintln(os.Stderr, "relaxsoak: flight dump:", err)
+		}
+	}
+	if *flightPath != "" {
+		flight = trace.NewFlightRecorder(512, 512)
+		spans.SetMirror(flight)
+		rec.SetObserver(flight.ObserveEvent)
+	} else {
+		onViolation = nil
+	}
+	var audited history.History
+
 	failed := false
 	for _, kind := range kinds {
 		w0 := relaxcheck.Workload{Kind: kind, Clients: *clients, Ops: *ops}
@@ -107,12 +171,15 @@ func run(args []string, w io.Writer) error {
 				Metrics:     reg,
 				Trace:       rec,
 				SampleEvery: *sample,
+				Spans:       spans,
+				OnViolation: onViolation,
 			}
 			if !*calm && kind != relaxcheck.FaultCorrelated {
 				cfg.Faults = cluster.FaultConfig{MTTF: 60, MTTR: 8, MTBP: 150, PartitionDwell: 12}
 			}
 			report, err := relaxcheck.RunClusterSoak(cfg)
 			printReport(w, "cluster", kind, report)
+			audited = append(audited, report.Observed...)
 			if err != nil {
 				fmt.Fprintf(w, "  FAIL: %v\n", err)
 				failed = true
@@ -126,8 +193,11 @@ func run(args []string, w io.Writer) error {
 				Metrics:     reg,
 				Trace:       rec,
 				SampleEvery: *sample,
+				Spans:       spans,
+				OnViolation: onViolation,
 			})
 			printReport(w, "txn", kind, report)
+			audited = append(audited, report.Observed...)
 			if err != nil {
 				fmt.Fprintf(w, "  FAIL: %v\n", err)
 				failed = true
@@ -136,6 +206,18 @@ func run(args []string, w io.Writer) error {
 	}
 	if err := writeObs(*metricsPath, *tracePath, reg, rec); err != nil {
 		return err
+	}
+	if *spansPath != "" {
+		if err := writeFile(*spansPath, spans.WriteJSONL); err != nil {
+			return err
+		}
+	}
+	if *historyPath != "" {
+		if err := writeFile(*historyPath, func(f io.Writer) error {
+			return history.WriteLines(f, audited)
+		}); err != nil {
+			return err
+		}
 	}
 	if failed {
 		return fmt.Errorf("lattice-level violations detected")
@@ -188,6 +270,136 @@ func printReport(w io.Writer, mode string, kind relaxcheck.Kind, r *relaxcheck.S
 	}
 	fmt.Fprintf(w, "%-8s %-16s ops=%d completed=%d failed=%d audited=%d level=%s floor=%s maxfrontier=%d\n",
 		mode, kind, r.Ops, r.Completed, r.Failed, r.Steps, r.Level, floor, r.MaxFrontier)
+}
+
+// auditConfig gathers the audit-sidecar flags.
+type auditConfig struct {
+	historyPath     string
+	lattice         string
+	dequeuers       int
+	sample          int
+	window          int
+	frontierCap     int
+	checkpointPath  string
+	checkpointEvery int
+	resumePath      string
+	stopAt          int
+}
+
+// runAudit replays an exported observed history through the online
+// checker alone — the audit sidecar. Checkpoints are written every
+// checkpointEvery operations plus once at exit, so killing the process
+// anywhere loses at most checkpointEvery operations of progress and
+// never any soundness: resuming from the latest checkpoint reproduces
+// the uninterrupted run's verdicts exactly.
+func runAudit(w io.Writer, cfg auditConfig) error {
+	if cfg.historyPath == "" {
+		return fmt.Errorf("-mode audit requires -history (an exported observed history)")
+	}
+	hf, err := os.Open(cfg.historyPath)
+	if err != nil {
+		return err
+	}
+	h, err := history.ReadLines(hf)
+	hf.Close()
+	if err != nil {
+		return err
+	}
+
+	var lat *lattice.Relaxation
+	switch cfg.lattice {
+	case "taxi":
+		lat = core.TaxiSimpleLattice()
+	case "spool":
+		lat = core.SemiqueueLattice(cfg.dequeuers)
+	default:
+		return fmt.Errorf("unknown audit lattice %q (want taxi or spool)", cfg.lattice)
+	}
+	opts := relaxcheck.Options{
+		SampleEvery: cfg.sample,
+		Window:      cfg.window,
+		FrontierCap: cfg.frontierCap,
+	}
+
+	checker := relaxcheck.New(lat, opts)
+	start := 0
+	if cfg.resumePath != "" {
+		rf, err := os.Open(cfg.resumePath)
+		if err != nil {
+			return err
+		}
+		checker, err = relaxcheck.Resume(lat, opts, rf)
+		rf.Close()
+		if err != nil {
+			return err
+		}
+		start = checker.Steps()
+		if start > len(h) {
+			return fmt.Errorf("checkpoint is %d operations ahead of the %d-operation history", start, len(h))
+		}
+	}
+	stop := len(h)
+	if cfg.stopAt > 0 && cfg.stopAt < stop {
+		stop = cfg.stopAt
+	}
+
+	writeCheckpoint := func() error {
+		if cfg.checkpointPath == "" {
+			return nil
+		}
+		return writeFile(cfg.checkpointPath, checker.Checkpoint)
+	}
+	for i := start; i < stop; i++ {
+		checker.ObserveOp(h[i])
+		if cfg.checkpointEvery > 0 && (i+1-start)%cfg.checkpointEvery == 0 {
+			if err := writeCheckpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := writeCheckpoint(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "audit    %-16s ops=%d from=%d to=%d level=%s abandoned=%d maxfrontier=%d\n",
+		cfg.lattice, len(h), start, stop, checker.Level(), checker.Abandoned(), checker.MaxFrontier())
+	if v := checker.Violation(); v != nil {
+		fmt.Fprintf(w, "  FAIL: %v\n", v)
+		return fmt.Errorf("lattice-level violations detected")
+	}
+	if stop < len(h) {
+		fmt.Fprintf(w, "audit stopped at %d of %d operations (resumable from the checkpoint)\n", stop, len(h))
+		return nil
+	}
+	fmt.Fprintln(w, "audited history stays inside its relaxation lattice")
+	return nil
+}
+
+// dumpFlight writes the flight-recorder artifact for a violation.
+func dumpFlight(path string, fr *trace.FlightRecorder, v relaxcheck.Violation) error {
+	if path == "" || fr == nil {
+		return nil
+	}
+	return writeFile(path, func(f io.Writer) error {
+		return fr.WriteDump(f,
+			obs.KV{K: "kind", V: v.Kind},
+			obs.KV{K: "step", V: fmt.Sprint(v.Step)},
+			obs.KV{K: "op", V: v.Op.String()},
+			obs.KV{K: "claim", V: v.Claim})
+	})
+}
+
+// writeFile creates path and writes through fn, closing cleanly.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeObs(metricsPath, tracePath string, reg *obs.Registry, rec *obs.Recorder) error {

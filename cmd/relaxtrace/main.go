@@ -1,0 +1,104 @@
+// relaxtrace is the critical-path analyzer for causal span streams
+// (internal/obs/trace): it reads the JSONL span stream a traced run
+// exports, rebuilds the happens-before DAG, and attributes logical
+// time per protocol step and per degradation rung — including each
+// root operation's critical path. It can also export the stream as
+// Chrome trace-event JSON for chrome://tracing or Perfetto.
+//
+// Everything it prints is a pure function of the input bytes, so its
+// outputs are themselves determinism-checkable artifacts: two runs of
+// the same soak at different GOMAXPROCS must produce byte-identical
+// relaxtrace reports.
+//
+// Usage:
+//
+//	relaxtrace [-table] [-json F] [-chrome F] [spans.jsonl]
+//
+// With no file argument the stream is read from stdin. -table (on by
+// default) prints the fixed-width attribution report; -json writes the
+// analysis as one JSON object; -chrome writes the Chrome trace-event
+// export.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relaxlattice/internal/obs/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "relaxtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("relaxtrace", flag.ContinueOnError)
+	table := fs.Bool("table", true, "print the fixed-width attribution table")
+	jsonPath := fs.String("json", "", "write the analysis as JSON to this file (- for stdout)")
+	chromePath := fs.String("chrome", "", "write Chrome trace-event JSON to this file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return fmt.Errorf("at most one span stream, got %d", fs.NArg())
+	}
+
+	in := stdin
+	if fs.NArg() == 1 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	spans, err := trace.ReadJSONL(in)
+	if err != nil {
+		return err
+	}
+
+	an := trace.Analyze(spans)
+	if *table {
+		if err := an.WriteTable(stdout); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		b := append(an.AppendJSON(nil), '\n')
+		if err := writeOut(*jsonPath, stdout, func(w io.Writer) error {
+			_, err := w.Write(b)
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if *chromePath != "" {
+		if err := writeOut(*chromePath, stdout, func(w io.Writer) error {
+			return trace.WriteChromeTrace(w, spans)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOut writes through fn to the named file, or to stdout for "-".
+func writeOut(path string, stdout io.Writer, fn func(io.Writer) error) error {
+	if path == "-" {
+		return fn(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
+)
+
+// sampleStream builds a small two-root span stream on a logical clock.
+func sampleStream(t *testing.T) []byte {
+	t.Helper()
+	tr := trace.NewTracer("test", nil)
+	root := tr.Begin("op", obs.KV{K: "rung", V: "Q1Q2"})
+	s1 := root.Child("step1")
+	s1.End()
+	s2 := root.Child("step2")
+	s2.Link(s1.ID())
+	s2.End()
+	root.End()
+	tr.Begin("op").End()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunTableAndJSON(t *testing.T) {
+	stream := sampleStream(t)
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-"}, bytes.NewReader(stream), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"spans=4", "roots=2", "links=1", "critical",
+		`"by_name":[`, `"by_rung":[`, `"rung":"Q1Q2"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Byte-determinism of the full report.
+	var out2 bytes.Buffer
+	if err := run([]string{"-json", "-"}, bytes.NewReader(stream), &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+		t.Fatal("reports differ across identical inputs")
+	}
+}
+
+// TestChromeExportSchema validates the Chrome trace-event export
+// against the format's structural contract: a traceEvents array of
+// complete ("ph":"X") events with name/ts/dur/pid/tid, parseable as
+// JSON.
+func TestChromeExportSchema(t *testing.T) {
+	dir := t.TempDir()
+	stream := filepath.Join(dir, "spans.jsonl")
+	if err := os.WriteFile(stream, sampleStream(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chrome := filepath.Join(dir, "chrome.json")
+	var out bytes.Buffer
+	if err := run([]string{"-table=false", "-chrome", chrome, stream}, strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   *int64         `json:"ts"`
+			Dur  *int64         `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome export is not JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("exported %d events, want 4", len(doc.TraceEvents))
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" || e.Cat != "span" {
+			t.Fatalf("event %+v not a complete span event", e)
+		}
+		if e.Name == "" || e.TS == nil || e.Dur == nil || e.PID != 1 || e.TID < 1 {
+			t.Fatalf("event %+v missing required fields", e)
+		}
+		if _, ok := e.Args["id"]; !ok {
+			t.Fatalf("event %+v has no span id in args", e)
+		}
+		tids[e.TID] = true
+	}
+	if len(tids) != 2 {
+		t.Fatalf("expected 2 root tids, got %v", tids)
+	}
+}
+
+func TestRunRejectsExtraArgs(t *testing.T) {
+	if err := run([]string{"a", "b"}, strings.NewReader(""), &bytes.Buffer{}); err == nil {
+		t.Fatal("two positional args accepted")
+	}
+}

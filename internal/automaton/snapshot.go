@@ -1,0 +1,59 @@
+package automaton
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/value"
+)
+
+// This file is the frontier half of the audit-sidecar checkpoint
+// format (DESIGN.md §14): a frontier's entire checking state is its
+// state-set class, which serializes as the canonical value Keys of its
+// live states and restores through value.ParseKey. Steps and peak ride
+// along so a resumed frontier reports the same statistics as one that
+// was never interrupted.
+
+// StateKeys returns the canonical Keys of the frontier's live states
+// in canonical order, or nil when the frontier is dead. Together with
+// Steps and Peak this is a complete serialization of the frontier: two
+// frontiers of the same automaton with equal state keys accept exactly
+// the same extensions (acceptance factors through state sets).
+func (f *Frontier) StateKeys() []string {
+	if f.states == nil {
+		return nil
+	}
+	keys := make([]string, len(f.states))
+	for i, s := range f.states {
+		keys[i] = s.Key()
+	}
+	return keys
+}
+
+// RestoreFrontier reconstructs a frontier from serialized state keys.
+// keys == nil restores a dead frontier; otherwise each key is parsed
+// with value.ParseKey and the state set re-canonicalized (deduplicated
+// and sorted), so a frontier restored from StateKeys is
+// indistinguishable — same Key, same acceptance of every extension —
+// from the frontier that produced them.
+func RestoreFrontier(a Automaton, keys []string, steps, peak int) (*Frontier, error) {
+	f := &Frontier{a: a, steps: steps, peak: peak}
+	if keys == nil {
+		return f, nil
+	}
+	states := make(map[string]value.Value, len(keys))
+	for _, k := range keys {
+		v, err := value.ParseKey(k)
+		if err != nil {
+			return nil, fmt.Errorf("automaton: restore frontier: %w", err)
+		}
+		states[v.Key()] = v
+	}
+	f.states = sortValues(states)
+	if f.states == nil {
+		return nil, fmt.Errorf("automaton: restore frontier: empty live state set")
+	}
+	if len(f.states) > f.peak {
+		f.peak = len(f.states)
+	}
+	return f, nil
+}

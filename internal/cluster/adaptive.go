@@ -3,8 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/quorum"
 	"relaxlattice/internal/resilience"
 	"relaxlattice/internal/sim"
@@ -93,7 +96,7 @@ func (c *Cluster) Adaptive(home int, levels []Level, opts resilience.Options, en
 			func() float64 { return a.rng.Jitter(cfg.ProbeEvery, a.policy.Jitter) },
 			func() bool {
 				if a.ctrl.Degraded() {
-					a.probe("probe")
+					a.probe("probe", nil)
 				}
 				return true
 			})
@@ -123,6 +126,22 @@ func (a *AdaptiveClient) Floor() Level { return a.levels[a.ctrl.Floor()] }
 func (a *AdaptiveClient) Submit(inv history.Invocation, done func(history.Op, resilience.Outcome)) {
 	c := a.cl.c
 	var op history.Op
+	// The submission's root span covers the whole retry loop; each
+	// attempt nests under it, with the backoff gap between consecutive
+	// attempts emitted in hindsight as its own child, so the analyzer
+	// attributes waiting separately from protocol work. All refs are
+	// nil (and no-op) when span tracing is off.
+	root := c.cfg.Spans.Begin("cluster.submit",
+		obs.KV{K: "op", V: inv.Name},
+		obs.KV{K: "client", V: strconv.Itoa(a.cl.id)},
+		obs.KV{K: "home", V: strconv.Itoa(a.cl.home)},
+		// The rung at submission time: attempts override it for their
+		// subtrees when the controller has since moved, so root
+		// self-time (scheduling, backoff gaps) stays attributed to the
+		// rung the client was on when it queued the op.
+		obs.KV{K: "rung", V: a.levels[a.ctrl.Level()].Name},
+	)
+	var lastEnd int64
 	resilience.Do(a.engine, a.rng, a.policy,
 		func(err error) bool { return errors.Is(err, ErrUnavailable) },
 		func(n int) error {
@@ -130,24 +149,44 @@ func (a *AdaptiveClient) Submit(inv history.Invocation, done func(history.Op, re
 				c.cfg.Metrics.Counter("cluster.adaptive.retry").Add(1)
 			}
 			lvl := a.levels[a.ctrl.Level()]
+			att := root.Child("cluster.attempt",
+				obs.KV{K: "n", V: strconv.Itoa(n)},
+				obs.KV{K: "rung", V: lvl.Name},
+			)
+			if n > 1 {
+				root.EmitChild("cluster.backoff", lastEnd, att.Start(),
+					obs.KV{K: "before", V: strconv.Itoa(n)})
+			}
 			var err error
-			op, err = a.cl.ExecuteUnder(inv, lvl.Quorums, lvl.Name)
+			op, err = a.cl.ExecuteUnderSpan(inv, lvl.Quorums, lvl.Name, att)
 			if err == nil {
 				if a.ctrl.OnSuccess() {
-					a.probe(inv.Name)
+					a.probe(inv.Name, att)
 				}
+				lastEnd = att.End(obs.KV{K: "outcome", V: "ok"})
 				return nil
 			}
 			if errors.Is(err, ErrUnavailable) {
 				if to, down := a.ctrl.OnFailure(); down {
 					c.cfg.Metrics.Counter("cluster.adaptive.descend").Add(1)
 					c.recordAdaptiveTransition(a.cl, inv.Name, behaviorDescend+a.levels[to].Name)
+					d := att.Child("cluster.descend", obs.KV{K: "to", V: a.levels[to].Name})
+					d.End()
 				}
 			}
+			lastEnd = att.End(obs.KV{K: "outcome", V: "fail"})
 			return err
 		},
 		func(out resilience.Outcome) {
 			c.cfg.Metrics.Histogram("cluster.adaptive.attempts", attemptBounds).Observe(int64(out.Attempts))
+			outcome := "ok"
+			if out.Err != nil {
+				outcome = out.Reason
+			}
+			root.End(
+				obs.KV{K: "attempts", V: strconv.Itoa(out.Attempts)},
+				obs.KV{K: "outcome", V: outcome},
+			)
 			if done != nil {
 				done(op, out)
 			}
@@ -156,9 +195,17 @@ func (a *AdaptiveClient) Submit(inv history.Invocation, done func(history.Op, re
 
 // probe asks the controller to re-test stronger rungs, using read-only
 // cluster probes as the availability oracle, and records an ascent
-// episode when the controller moves up.
-func (a *AdaptiveClient) probe(opName string) {
+// episode when the controller moves up. Its span nests under the
+// attempt that triggered it (parent), or roots a new tree for the
+// periodic probe loop (nil parent).
+func (a *AdaptiveClient) probe(opName string, parent *trace.SpanRef) {
 	c := a.cl.c
+	sp := parent.Child("cluster.probe", obs.KV{K: "client", V: strconv.Itoa(a.cl.id)})
+	if sp == nil {
+		sp = c.cfg.Spans.Begin("cluster.probe",
+			obs.KV{K: "client", V: strconv.Itoa(a.cl.id)},
+			obs.KV{K: "rung", V: a.levels[a.ctrl.Level()].Name})
+	}
 	to, up := a.ctrl.Probe(func(lvl int) bool {
 		ok := c.Probe(a.cl.home, a.levels[lvl].Quorums)
 		if ok {
@@ -171,5 +218,10 @@ func (a *AdaptiveClient) probe(opName string) {
 	if up {
 		c.cfg.Metrics.Counter("cluster.adaptive.ascend").Add(1)
 		c.recordAdaptiveTransition(a.cl, opName, behaviorAscend+a.levels[to].Name)
+		asc := sp.Child("cluster.ascend", obs.KV{K: "to", V: a.levels[to].Name})
+		asc.End()
+		sp.End(obs.KV{K: "outcome", V: "ascend"})
+		return
 	}
+	sp.End(obs.KV{K: "outcome", V: "hold"})
 }

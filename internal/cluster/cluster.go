@@ -22,6 +22,7 @@ import (
 	"relaxlattice/internal/automaton"
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/quorum"
 	"relaxlattice/internal/value"
 )
@@ -77,6 +78,15 @@ type Config struct {
 	// adaptive degradation claim) — the attachment point for online
 	// relaxation checking. See the Audit interface for the contract.
 	Audit Audit
+	// Spans, when set, receives causal spans from the protocol: one
+	// span per executed operation with step-1/2/3 children (view
+	// assembly, response choice, final-quorum record), happens-before
+	// links from each step-1 view to the spans that last wrote the site
+	// logs it merged, and — for adaptive clients — submit, attempt,
+	// backoff, descend, probe, and ascend spans nested under the
+	// operation that triggered them. The tracer's clock should share a
+	// domain with Clock; nil disables span tracing entirely.
+	Spans *trace.Tracer
 }
 
 // Cluster is the simulated replicated object.
@@ -91,6 +101,10 @@ type Cluster struct {
 	observed history.History  // guarded by mu
 	nextID   int              // guarded by mu
 	ltime    obs.Logical      // default trace clock; ticked only under mu
+	// lastWrite is, per site, the step-3 span that last recorded an
+	// entry on that site's log — the happens-before link targets of the
+	// next step-1 view that merges the log. All zeros when Spans is nil.
+	lastWrite []trace.SpanID // guarded by mu
 
 	// View-evaluation cache (fold mode only): η of recently evaluated
 	// views. A client's next view usually extends a previous one by a
@@ -135,12 +149,13 @@ func New(cfg Config) *Cluster {
 		fold = quorum.DeltaFold(cfg.Base)
 	}
 	c := &Cluster{
-		cfg:  cfg,
-		eval: eval,
-		fold: fold,
-		logs: make([]quorum.Log, cfg.Sites),
-		up:   make([]bool, cfg.Sites),
-		comp: make([]int, cfg.Sites),
+		cfg:       cfg,
+		eval:      eval,
+		fold:      fold,
+		logs:      make([]quorum.Log, cfg.Sites),
+		up:        make([]bool, cfg.Sites),
+		comp:      make([]int, cfg.Sites),
+		lastWrite: make([]trace.SpanID, cfg.Sites),
 	}
 	for i := range c.up {
 		c.up[i] = true
@@ -326,7 +341,7 @@ func (c *Cluster) Client(home int) *Client {
 // Execute runs the three-step quorum-consensus protocol for one
 // invocation. On success it returns the completed operation execution.
 func (cl *Client) Execute(inv history.Invocation) (history.Op, error) {
-	return cl.c.execute(cl, inv, cl.c.cfg.Quorums, "")
+	return cl.c.execute(cl, inv, cl.c.cfg.Quorums, "", nil)
 }
 
 // ExecuteUnder runs the protocol gated by an alternative quorum
@@ -342,17 +357,51 @@ func (cl *Client) ExecuteUnder(inv history.Invocation, gate quorum.Assignment, l
 	if gate.Sites() != len(cl.c.logs) {
 		panic(fmt.Sprintf("cluster: gate assignment over %d sites, cluster has %d", gate.Sites(), len(cl.c.logs)))
 	}
-	return cl.c.execute(cl, inv, gate, label)
+	return cl.c.execute(cl, inv, gate, label, nil)
+}
+
+// ExecuteUnderSpan is ExecuteUnder with an explicit parent span: the
+// operation's span tree nests under parent in the causal trace. A nil
+// parent roots the operation span at the configured tracer.
+func (cl *Client) ExecuteUnderSpan(inv history.Invocation, gate quorum.Assignment, label string, parent *trace.SpanRef) (history.Op, error) {
+	if gate.Sites() != len(cl.c.logs) {
+		panic(fmt.Sprintf("cluster: gate assignment over %d sites, cluster has %d", gate.Sites(), len(cl.c.logs)))
+	}
+	return cl.c.execute(cl, inv, gate, label, parent)
+}
+
+// beginOpSpan opens the operation span (nil when spans are off). The
+// "rung" attribute carries the ladder label, or "base" on the plain
+// path — the key the critical-path analyzer aggregates by.
+func (c *Cluster) beginOpSpan(cl *Client, inv history.Invocation, label string, parent *trace.SpanRef) *trace.SpanRef {
+	if c.cfg.Spans == nil {
+		return nil
+	}
+	rung := label
+	if rung == "" {
+		rung = "base"
+	}
+	attrs := []obs.KV{
+		{K: "op", V: inv.Name},
+		{K: "client", V: strconv.Itoa(cl.id)},
+		{K: "home", V: strconv.Itoa(cl.home)},
+		{K: "rung", V: rung},
+	}
+	if parent != nil {
+		return parent.Child("cluster.op", attrs...)
+	}
+	return c.cfg.Spans.Begin("cluster.op", attrs...)
 }
 
 // execute is the shared protocol body. A non-empty label marks a
 // ladder-gated execution (behavior "level:<label>", no degraded
 // fallback); an empty label is the plain path, byte-compatible with
 // the original Execute.
-func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assignment, label string) (history.Op, error) {
+func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assignment, label string, parent *trace.SpanRef) (history.Op, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	span := c.beginOpSpan(cl, inv, label, parent)
 	reachable := c.reachableFrom(cl.home)
 	if !c.up[cl.home] {
 		reachable = nil // a client whose site is down reaches nothing
@@ -364,11 +413,13 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 	if !quorumOK && (label != "" || !cl.Degrade) {
 		metrics.Counter("cluster.execute.unavailable." + inv.Name).Add(1)
 		c.observeEpisode(cl, inv.Name, reachable, behaviorReject)
+		span.End(obs.KV{K: "outcome", V: "unavailable"})
 		return history.Op{}, fmt.Errorf("%w: op %s reaches %d site(s)", ErrUnavailable, inv.Name, len(reachable))
 	}
 	if len(reachable) == 0 {
 		metrics.Counter("cluster.execute.unavailable." + inv.Name).Add(1)
 		c.observeEpisode(cl, inv.Name, reachable, behaviorReject)
+		span.End(obs.KV{K: "outcome", V: "unavailable"})
 		return history.Op{}, fmt.Errorf("%w: op %s reaches no sites", ErrUnavailable, inv.Name)
 	}
 	behavior := behaviorQuorum
@@ -379,34 +430,49 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 		metrics.Counter("cluster.execute.degraded." + inv.Name).Add(1)
 	}
 	c.observeEpisode(cl, inv.Name, reachable, behavior)
+	span.Annotate(obs.KV{K: "behavior", V: behavior})
 
 	// Step 1: merge the logs from an initial quorum into a view. (All
 	// reachable sites participate; any superset of an initial quorum is
-	// an initial quorum.)
+	// an initial quorum.) The step span links to the step-3 span that
+	// last wrote each merged site log — the cross-operation
+	// happens-before edges of the causal DAG.
+	s1 := span.Child("cluster.step1.view")
 	logs := make([]quorum.Log, 0, len(reachable))
 	for _, s := range reachable {
 		logs = append(logs, c.logs[s])
+		s1.Link(c.lastWrite[s])
 	}
 	view := quorum.Merge(logs...)
 	states := c.evalView(view)
 	if len(states) == 0 {
+		s1.End(obs.KV{K: "sites", V: strconv.Itoa(len(reachable))})
+		span.End(obs.KV{K: "outcome", V: "uninterpretable"})
 		return history.Op{}, fmt.Errorf("cluster: view not interpretable by η")
 	}
 	s := states[0]
+	s1.End(obs.KV{K: "sites", V: strconv.Itoa(len(reachable))})
 
 	// Step 2: choose a response consistent with the view.
+	s2 := span.Child("cluster.step2.respond")
 	op, ok := c.cfg.Respond(s, inv)
 	if !ok {
 		metrics.Counter("cluster.execute.noresponse." + inv.Name).Add(1)
+		s2.End(obs.KV{K: "outcome", V: "no-response"})
+		span.End(obs.KV{K: "outcome", V: "no-response"})
 		return history.Op{}, fmt.Errorf("%w: %s on view %s", ErrNoResponse, inv, s)
 	}
 	if !c.cfg.Base.PreHolds(s, op) {
 		metrics.Counter("cluster.execute.noresponse." + inv.Name).Add(1)
+		s2.End(obs.KV{K: "outcome", V: "no-response"})
+		span.End(obs.KV{K: "outcome", V: "no-response"})
 		return history.Op{}, fmt.Errorf("%w: precondition of %s fails on view %s", ErrNoResponse, op, s)
 	}
+	s2.End(obs.KV{K: "outcome", V: "ok"})
 
 	// Step 3: append the entry and send the updated view to a final
 	// quorum (here: every reachable site).
+	s3 := span.Child("cluster.step3.record")
 	if maxTS, any := view.MaxTS(); any {
 		cl.clock.Witness(maxTS)
 	}
@@ -414,7 +480,9 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 	updated := view.Append(entry)
 	for _, site := range reachable {
 		c.logs[site] = quorum.Merge(c.logs[site], updated)
+		c.lastWrite[site] = s3.ID()
 	}
+	s3.End(obs.KV{K: "sites", V: strconv.Itoa(len(reachable))})
 	// Grown in place: Observed copies on read, and only Execute (under
 	// mu) appends, so amortized growth never aliases a caller's snapshot.
 	c.observed = append(c.observed, op)
@@ -422,6 +490,7 @@ func (c *Cluster) execute(cl *Client, inv history.Invocation, gate quorum.Assign
 	if c.cfg.Audit != nil {
 		c.cfg.Audit.ObserveOp(op)
 	}
+	span.End(obs.KV{K: "outcome", V: "ok"})
 	return op, nil
 }
 

@@ -1,0 +1,52 @@
+package conc
+
+import (
+	"strconv"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
+)
+
+// EmitSpans converts a linearized history — a Journal's published
+// prefix — into a causal span stream on tr: one root span per
+// operation occupying its ticket interval [i, i+1) on the ticket time
+// axis, with a happens-before link from each successful dequeue to the
+// enqueue of the element it returned (ticket order guarantees the
+// enqueue ticked first, so the link always resolves backward). The
+// conversion is pure and deterministic: the same history yields the
+// same stream bytes on any tracer with the same track.
+func EmitSpans(tr *trace.Tracer, h history.History) {
+	if tr == nil {
+		return
+	}
+	// Pending enqueue spans per element, consumed FIFO: relaxed queues
+	// may admit duplicate elements in flight, and matching the oldest
+	// unconsumed enqueue mirrors the certifier's replay order.
+	pending := map[int][]trace.SpanID{}
+	for i, op := range h {
+		start := int64(i)
+		attrs := []obs.KV{{K: "ticket", V: strconv.Itoa(i)}}
+		var links []trace.SpanID
+		var elem int
+		haveElem := false
+		switch {
+		case op.Name == history.NameEnq && len(op.Args) > 0:
+			elem, haveElem = op.Args[0], true
+		case op.Name == history.NameDeq && len(op.Res) > 0:
+			elem = op.Res[0]
+			if q := pending[elem]; len(q) > 0 {
+				links = []trace.SpanID{q[0]}
+				pending[elem] = q[1:]
+			}
+			haveElem = true
+		}
+		if haveElem {
+			attrs = append(attrs, obs.KV{K: "item", V: strconv.Itoa(elem)})
+		}
+		id := tr.Emit("conc."+op.Name, start, start+1, links, attrs...)
+		if op.Name == history.NameEnq && haveElem {
+			pending[elem] = append(pending[elem], id)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package conc
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs/trace"
+)
+
+func TestEmitSpansLinksDeqToEnq(t *testing.T) {
+	h := history.History{
+		history.Enq(1),
+		history.Enq(2),
+		history.DeqOk(2), // out of order: semiqueue-style
+		history.DeqOk(1),
+	}
+	tr := trace.NewTracer("conc", nil)
+	EmitSpans(tr, h)
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("emitted %d spans, want 4", len(spans))
+	}
+	byTicket := map[int64]trace.Span{}
+	for _, sp := range spans {
+		byTicket[sp.Start] = sp
+		if sp.End != sp.Start+1 {
+			t.Fatalf("span %v does not occupy its ticket interval", sp)
+		}
+	}
+	if got := byTicket[2].Links; len(got) != 1 || got[0] != byTicket[1].ID {
+		t.Fatalf("Deq(2) links = %v, want [%v]", got, byTicket[1].ID)
+	}
+	if got := byTicket[3].Links; len(got) != 1 || got[0] != byTicket[0].ID {
+		t.Fatalf("Deq(1) links = %v, want [%v]", got, byTicket[0].ID)
+	}
+
+	// Deterministic across re-emission.
+	tr2 := trace.NewTracer("conc", nil)
+	EmitSpans(tr2, h)
+	var b1, b2 bytes.Buffer
+	if err := tr.WriteJSONL(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr2.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("re-emission differs")
+	}
+}

@@ -26,7 +26,7 @@ func fastConfig() Config {
 func TestRegistryComplete(t *testing.T) {
 	all := All()
 	want := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
-		"E09", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "X01", "X02", "X03", "X04", "X05", "X06"}
+		"E09", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "X01", "X02", "X03", "X04", "X05", "X06", "X07"}
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
 	}

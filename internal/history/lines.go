@@ -1,0 +1,50 @@
+package history
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteLines serializes a history as text, one operation execution per
+// line in the paper's "Name(args)/Term(res)" notation — the audited
+// history artifact a soak run exports so a later audit-sidecar run can
+// replay (and resume) the exact same check. The encoding is the
+// inverse of ReadLines and byte-deterministic.
+func WriteLines(w io.Writer, h History) error {
+	bw := bufio.NewWriter(w)
+	for _, op := range h {
+		if _, err := bw.WriteString(op.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLines parses the output of WriteLines. Blank lines are ignored;
+// anything else must be a well-formed operation execution.
+func ReadLines(r io.Reader) (History, error) {
+	var h History
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		s := sc.Text()
+		if s == "" {
+			continue
+		}
+		op, err := ParseOp(s)
+		if err != nil {
+			return nil, fmt.Errorf("history: line %d: %w", line, err)
+		}
+		h = append(h, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}

@@ -1,0 +1,127 @@
+package lattice
+
+import (
+	"fmt"
+
+	"relaxlattice/internal/automaton"
+)
+
+// Element statuses in a StepChecker snapshot.
+const (
+	// StatusAlive: the element's frontier still accepts the history;
+	// States carries its state-set class.
+	StatusAlive = "alive"
+	// StatusDead: the element rejected some prefix (permanently —
+	// languages are prefix-closed).
+	StatusDead = "dead"
+	// StatusAbandoned: the frontier cap dropped the element; its
+	// verdict is unknown.
+	StatusAbandoned = "abandoned"
+)
+
+// ElementSnapshot is the serialized audit state of one lattice
+// element: its constraint set (as the universe bitmask), status, and —
+// when alive — the canonical state Keys of its frontier.
+type ElementSnapshot struct {
+	Set    uint64   `json:"set"`
+	Status string   `json:"status"`
+	States []string `json:"states,omitempty"`
+	Steps  int      `json:"steps"`
+	Peak   int      `json:"peak"`
+}
+
+// Snapshot is a complete, restartable serialization of a StepChecker:
+// restoring it and feeding the remaining operations yields exactly the
+// verdicts (Current, Alive, Degraded) of an uninterrupted run, because
+// each frontier's acceptance of every extension depends only on its
+// state-set class (DESIGN.md §14).
+type Snapshot struct {
+	Length   int               `json:"length"`
+	Peak     int               `json:"peak"`
+	Elements []ElementSnapshot `json:"elements"`
+}
+
+// Snapshot serializes the checker's state. Elements appear in domain
+// order (strongest first), so equal checker states produce identical
+// snapshots.
+func (c *StepChecker) Snapshot() Snapshot {
+	snap := Snapshot{
+		Length:   c.length,
+		Peak:     c.peak,
+		Elements: make([]ElementSnapshot, len(c.sets)),
+	}
+	for i, s := range c.sets {
+		e := ElementSnapshot{Set: uint64(s)}
+		switch {
+		case c.abandoned[i]:
+			e.Status = StatusAbandoned
+		case c.fronts[i] == nil:
+			e.Status = StatusDead
+		default:
+			e.Status = StatusAlive
+			e.States = c.fronts[i].StateKeys()
+			e.Steps = c.fronts[i].Steps()
+			e.Peak = c.fronts[i].Peak()
+		}
+		snap.Elements[i] = e
+	}
+	return snap
+}
+
+// RestoreStepChecker reconstructs a checker from a snapshot taken
+// against the same relaxation lattice. The snapshot's elements must
+// match the lattice's domain exactly (same sets, same order) — a
+// mismatch means the snapshot came from a different lattice and is
+// rejected. memoCap re-enables transition memoization on restored live
+// frontiers (the memo cache itself is not serialized; it is a pure
+// performance artifact).
+func RestoreStepChecker(lat *Relaxation, snap Snapshot, memoCap int) (*StepChecker, error) {
+	domain := lat.Domain()
+	if len(snap.Elements) != len(domain) {
+		return nil, fmt.Errorf("lattice: snapshot has %d elements, lattice domain has %d",
+			len(snap.Elements), len(domain))
+	}
+	c := &StepChecker{
+		lat:       lat,
+		sets:      domain,
+		fronts:    make([]*automaton.Frontier, len(domain)),
+		abandoned: make([]bool, len(domain)),
+		length:    snap.Length,
+		peak:      snap.Peak,
+	}
+	if c.peak < 1 {
+		c.peak = 1
+	}
+	for i, e := range snap.Elements {
+		if Set(e.Set) != domain[i] {
+			return nil, fmt.Errorf("lattice: snapshot element %d has set %#x, domain has %#x",
+				i, e.Set, uint64(domain[i]))
+		}
+		switch e.Status {
+		case StatusDead:
+			// fronts[i] stays nil.
+		case StatusAbandoned:
+			c.abandoned[i] = true
+			c.nabandon++
+		case StatusAlive:
+			a, _ := lat.Phi(domain[i])
+			f, err := automaton.RestoreFrontier(a, e.States, e.Steps, e.Peak)
+			if err != nil {
+				return nil, fmt.Errorf("lattice: element %s: %w",
+					lat.Universe.Format(domain[i]), err)
+			}
+			if !f.Alive() {
+				return nil, fmt.Errorf("lattice: element %s: alive status with no states",
+					lat.Universe.Format(domain[i]))
+			}
+			if memoCap > 0 {
+				f.EnableMemo(memoCap)
+			}
+			c.fronts[i] = f
+			c.alive++
+		default:
+			return nil, fmt.Errorf("lattice: unknown element status %q", e.Status)
+		}
+	}
+	return c, nil
+}

@@ -25,10 +25,20 @@ import (
 type StepChecker struct {
 	lat    *Relaxation
 	sets   []Set                 // φ's domain, strongest first; parallel to fronts
-	fronts []*automaton.Frontier // nil once the element is dead
+	fronts []*automaton.Frontier // nil once the element is dead or abandoned
 	alive  int
 	length int
 	peak   int // largest single-element frontier seen
+
+	// Bounded-memory windowed checking (DESIGN.md §14): when cap > 0,
+	// an element whose frontier outgrows cap states is *abandoned* —
+	// dropped from tracking without being declared dead. Abandoned
+	// elements are excluded from Current (their verdict is unknown),
+	// and callers must not raise exhaustion or claim violations while
+	// nabandoned > 0: an abandoned element could still accept.
+	capN      int
+	abandoned []bool
+	nabandon  int
 }
 
 // NewStepChecker starts a checker at the empty history (every element
@@ -52,8 +62,17 @@ func NewStepChecker(lat *Relaxation, memoCap int) *StepChecker {
 			c.fronts[i].EnableMemo(memoCap)
 		}
 	}
+	c.abandoned = make([]bool, len(domain))
 	return c
 }
+
+// SetFrontierCap bounds each element's frontier to cap states (≤ 0
+// removes the bound). An element whose frontier exceeds the cap on a
+// later Step is abandoned: no longer tracked, no longer in Current,
+// and — because its verdict is unknown rather than negative — any
+// exhaustion or claim violation raised while Abandoned() > 0 would be
+// unsound. Set it before stepping; it does not retroactively abandon.
+func (c *StepChecker) SetFrontierCap(cap int) { c.capN = cap }
 
 // Step advances every viable lattice element by one operation
 // execution. It returns true while at least one element still accepts
@@ -72,6 +91,12 @@ func (c *StepChecker) Step(op history.Op) bool {
 		}
 		if f.Size() > c.peak {
 			c.peak = f.Size()
+		}
+		if c.capN > 0 && f.Size() > c.capN {
+			c.fronts[i] = nil
+			c.abandoned[i] = true
+			c.nabandon++
+			c.alive--
 		}
 	}
 	return c.alive > 0
@@ -94,6 +119,11 @@ func (c *StepChecker) Len() int { return c.length }
 
 // Alive returns how many lattice elements still accept the history.
 func (c *StepChecker) Alive() int { return c.alive }
+
+// Abandoned returns how many elements were dropped by the frontier cap
+// (verdict unknown, not dead). While this is nonzero, exhaustion and
+// claim violations must not be raised (see SetFrontierCap).
+func (c *StepChecker) Abandoned() int { return c.nabandon }
 
 // Viable reports whether element s still accepts the history.
 func (c *StepChecker) Viable(s Set) bool {

@@ -108,9 +108,10 @@ type Config struct {
 	Sites int
 }
 
-// DefaultConfig returns the repository's rule scoping: the nine
-// model-layer packages (including the observability substrate, whose
-// logical-clock journal must itself stay wall-clock-free; the
+// DefaultConfig returns the repository's rule scoping: the ten
+// model-layer packages (including the observability substrate and its
+// causal span tracer, whose logical-clock journal and span IDs must
+// themselves stay wall-clock-free; the
 // resilience layer, whose retry timing and jitter must come from the
 // simulated clock and injected RNG alone; and the online relaxation
 // checker, whose verdicts certify byte-identical soak replays) and the
@@ -135,6 +136,7 @@ func DefaultConfig() Config {
 			"internal/history",
 			"internal/quorum",
 			"internal/obs",
+			"internal/obs/trace",
 			"internal/resilience",
 			"internal/relaxcheck",
 		},

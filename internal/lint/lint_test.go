@@ -80,6 +80,8 @@ var golden = []string{
 	"internal/automaton/launder.go:31:23: [det-taint] call to Jitter returns a value derived from the global RNG; model-layer code must take such inputs explicitly",
 	"internal/conc/conc.go:59:2: [lock-balance] s.mu locked but never released in this function; use defer s.mu.Unlock()",
 	"internal/obs/obs.go:53:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
+	"internal/obs/trace/trace.go:39:33: [det-time] time.Now reads the wall clock; model-layer code must take time as an input",
+	"internal/obs/trace/trace.go:55:2: [det-maporder] map iteration order escapes the loop (append/send/return) with no subsequent sort",
 	"internal/specs/impure.go:13:2: [spec-purity] spec package function writes package-level variable hits; specs must be pure",
 	"internal/specs/impure.go:14:2: [spec-purity] spec package function writes package-level variable registry; specs must be pure",
 	"lockorder/lockorder.go:21:2: [lock-order] lock acquisition cycle lockorder.muA -> lockorder.muB -> lockorder.muA (potential deadlock); impose a single acquisition order",

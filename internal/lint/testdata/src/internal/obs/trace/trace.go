@@ -1,0 +1,59 @@
+// Package trace is a model-layer fixture mirroring the real causal
+// span tracer: span identity and timing must come from the injected
+// logical clock, never the wall clock, and exported span streams must
+// not leak map iteration order. The clean paths show the sanctioned
+// idioms; the findings show the two ways a tracer drifts
+// nondeterministic.
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// Span is one recorded causal span on the logical clock.
+type Span struct {
+	ID    uint64
+	Name  string
+	Begin int64
+	End   int64
+}
+
+// Tracer collects spans keyed by ID (single-goroutine fixture).
+type Tracer struct {
+	clock func() int64
+	spans map[uint64]Span
+}
+
+// Record stores a finished span stamped by the injected clock: clean.
+func (t *Tracer) Record(s Span) {
+	if t.spans == nil {
+		t.spans = map[uint64]Span{}
+	}
+	s.End = t.clock()
+	t.spans[s.ID] = s
+}
+
+// WallBegin stamps a span from the wall clock: finding.
+func (t *Tracer) WallBegin(name string) Span {
+	return Span{Name: name, Begin: time.Now().UnixNano()}
+}
+
+// Export snapshots by sorting after map iteration: clean.
+func (t *Tracer) Export() []Span {
+	out := make([]Span, 0, len(t.spans))
+	for _, s := range t.spans {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RawExport leaks map iteration order into the stream: finding.
+func (t *Tracer) RawExport() []Span {
+	var out []Span
+	for _, s := range t.spans {
+		out = append(out, s)
+	}
+	return out
+}

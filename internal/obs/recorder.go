@@ -36,6 +36,13 @@ func (e Event) Attr(key string) (string, bool) {
 	return "", false
 }
 
+// AppendJSONString appends s as a JSON string literal — the shared
+// no-error-path encoder of the journal and span streams (see
+// appendJSONString for why it is hand-rolled).
+func AppendJSONString(dst []byte, s string) []byte {
+	return appendJSONString(dst, s)
+}
+
 // appendJSONString appends s as a JSON string literal. Hand-rolled so
 // the journal encoder has no error path (encoding/json cannot fail on
 // strings, but its API still returns an error relaxlint would make us
@@ -69,6 +76,9 @@ func appendJSONString(dst []byte, s string) []byte {
 func utf8AppendRune(dst []byte, r rune) []byte {
 	return append(dst, string(r)...)
 }
+
+// AppendJSON exposes the event encoding for flight-recorder dumps.
+func (e Event) AppendJSON(dst []byte) []byte { return e.appendJSON(dst) }
 
 // appendJSON appends the event as one JSON object with fixed field
 // order: {"t":…,"name":…,"k1":"v1",…}. Attribute keys are emitted in
@@ -105,8 +115,9 @@ func (e Event) String() string {
 // order (see Append). A nil *Recorder no-ops everywhere, so callers
 // instrument unconditionally.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event // guarded by mu
+	mu       sync.Mutex
+	events   []Event     // guarded by mu
+	observer func(Event) // guarded by mu
 }
 
 // NewRecorder returns an empty journal.
@@ -120,9 +131,52 @@ func (r *Recorder) Record(t int64, name string, attrs ...KV) {
 	if r == nil {
 		return
 	}
+	e := Event{T: t, Name: name, Attrs: append([]KV(nil), attrs...)}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	obsv := r.observer
+	r.mu.Unlock()
+	if obsv != nil {
+		obsv(e)
+	}
+}
+
+// SetObserver installs a callback invoked (outside the journal lock)
+// for every subsequently recorded event — the hook the degradation
+// flight recorder uses to mirror recent events into its bounded ring.
+// nil detaches. Appended batches (Append) are not observed: they were
+// already observed at their original Record site, if one was attached.
+func (r *Recorder) SetObserver(fn func(Event)) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.events = append(r.events, Event{T: t, Name: name, Attrs: append([]KV(nil), attrs...)})
+	r.observer = fn
+}
+
+// CompactBefore drops every event with T < t — the checkpoint-keyed
+// journal compaction of the audit sidecar: once a checker checkpoint
+// at logical time t is durable, the events before it are evidence the
+// checkpoint has absorbed, and a bounded-memory sidecar may forget
+// them (what is lost is forensic attribution for that prefix, never a
+// future verdict — see DESIGN.md §14). It returns the number of events
+// dropped; no-op on nil.
+func (r *Recorder) CompactBefore(t int64) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.events[:0]
+	for _, e := range r.events {
+		if e.T >= t {
+			kept = append(kept, e)
+		}
+	}
+	dropped := len(r.events) - len(kept)
+	r.events = kept
+	return dropped
 }
 
 // Span records a begin/end pair as two events sharing the attrs —

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxlattice/internal/obs"
+)
+
+// benchStream builds a fixed span stream shaped like a traced soak:
+// nRoots root operations, each with three protocol-step children and
+// one happens-before link.
+func benchStream(b *testing.B, nRoots int) []Span {
+	b.Helper()
+	tr := NewTracer("bench", nil)
+	for i := 0; i < nRoots; i++ {
+		root := tr.Begin("op", obs.KV{K: "rung", V: "Q1Q2"})
+		s1 := root.Child("prepare")
+		s1.End()
+		s2 := root.Child("vote")
+		s2.Link(s1.ID())
+		s2.End()
+		root.Child("commit").End()
+		root.End()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		b.Fatal(err)
+	}
+	spans, err := ReadJSONL(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return spans
+}
+
+// BenchmarkSpanEmit measures the tracer's per-operation cost: one root
+// with three child steps — the shape of one traced quorum op. The
+// tracer is recycled periodically so retained-span memory stays
+// bounded across large b.N.
+func BenchmarkSpanEmit(b *testing.B) {
+	tr := NewTracer("bench", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%4096 == 0 {
+			tr = NewTracer("bench", nil)
+		}
+		root := tr.Begin("op", obs.KV{K: "rung", V: "Q1Q2"})
+		root.Child("prepare").End()
+		root.Child("vote").End()
+		root.Child("commit").End()
+		root.End()
+	}
+}
+
+// BenchmarkAnalyze measures the critical-path sweep over a 4096-span
+// stream (1024 roots × 4 spans).
+func BenchmarkAnalyze(b *testing.B) {
+	spans := benchStream(b, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := Analyze(spans)
+		if an.Roots != 1024 {
+			b.Fatalf("roots = %d", an.Roots)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package relaxcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+)
+
+// This file implements the audit sidecar's checkpoint/restore
+// (DESIGN.md §14). A checkpoint is a complete, deterministic JSON
+// serialization of a Checker: the per-element frontier state-set
+// classes (canonical value Keys, via lattice.StepChecker.Snapshot)
+// plus the claim floor, violation, and sampling state. Restoring a
+// checkpoint and feeding the remaining operations yields exactly the
+// verdicts — Current, Level, Violation, Samples — of the run that was
+// never interrupted, at every prefix; soundness rests on acceptance
+// factoring through frontier state sets. Checkpoint bytes are a pure
+// function of checker state: equal states serialize identically, so
+// checkpoints themselves are differential-testable artifacts.
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+type checkpointFile struct {
+	Version   int              `json:"version"`
+	Lattice   string           `json:"lattice"`
+	Steps     int              `json:"steps"`
+	PrevAlive int              `json:"prev_alive"`
+	LastLevel string           `json:"last_level"`
+	HaveClaim bool             `json:"have_claim"`
+	MinClaim  uint64           `json:"min_claim"`
+	ClaimName string           `json:"claim_name"`
+	Violation *violationRecord `json:"violation,omitempty"`
+	Samples   []sampleRecord   `json:"samples,omitempty"`
+	Checker   lattice.Snapshot `json:"checker"`
+}
+
+type violationRecord struct {
+	Kind  string   `json:"kind"`
+	Step  int      `json:"step"`
+	Op    string   `json:"op,omitempty"`
+	Claim string   `json:"claim,omitempty"`
+	Level []uint64 `json:"level,omitempty"`
+}
+
+type sampleRecord struct {
+	Step int      `json:"step"`
+	Sets []uint64 `json:"sets,omitempty"`
+}
+
+func setsToMasks(sets []lattice.Set) []uint64 {
+	if sets == nil {
+		return nil
+	}
+	out := make([]uint64, len(sets))
+	for i, s := range sets {
+		out[i] = uint64(s)
+	}
+	return out
+}
+
+func masksToSets(masks []uint64) []lattice.Set {
+	if masks == nil {
+		return nil
+	}
+	out := make([]lattice.Set, len(masks))
+	for i, m := range masks {
+		out[i] = lattice.Set(m)
+	}
+	return out
+}
+
+// Checkpoint writes the checker's complete state as deterministic JSON
+// (one trailing newline). It may be called at any point, including
+// after a violation; concurrent observers are excluded for the
+// duration, so the checkpoint is a consistent cut.
+func (c *Checker) Checkpoint(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := checkpointFile{
+		Version:   checkpointVersion,
+		Lattice:   c.sc.Lattice().Name,
+		Steps:     c.steps,
+		PrevAlive: c.prevAlive,
+		LastLevel: c.lastLevel,
+		HaveClaim: c.haveClaim,
+		MinClaim:  uint64(c.minClaim),
+		ClaimName: c.claimName,
+		Checker:   c.sc.Snapshot(),
+	}
+	if c.violation != nil {
+		v := violationRecord{
+			Kind:  c.violation.Kind,
+			Step:  c.violation.Step,
+			Claim: c.violation.Claim,
+			Level: setsToMasks(c.violation.Level),
+		}
+		if c.violation.Op.Name != "" {
+			v.Op = c.violation.Op.String()
+		}
+		f.Violation = &v
+	}
+	for _, s := range c.samples {
+		f.Samples = append(f.Samples, sampleRecord{Step: s.Step, Sets: setsToMasks(s.Sets)})
+	}
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("relaxcheck: checkpoint: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Resume reconstructs a checker from a checkpoint taken against the
+// same relaxation lattice, ready to consume the operations that follow
+// the checkpointed prefix. opts replaces the original options (sinks
+// like Metrics/Trace/OnViolation are process-local and never
+// serialized); MemoCap and FrontierCap take effect on the restored
+// frontiers. The restored checker is observably identical to the one
+// that wrote the checkpoint: every subsequent ObserveOp/ObserveClaim
+// produces the same verdicts an uninterrupted run would have.
+func Resume(lat *lattice.Relaxation, opts Options, r io.Reader) (*Checker, error) {
+	var f checkpointFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("relaxcheck: resume: %w", err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("relaxcheck: resume: checkpoint version %d, want %d",
+			f.Version, checkpointVersion)
+	}
+	if f.Lattice != lat.Name {
+		return nil, fmt.Errorf("relaxcheck: resume: checkpoint is for lattice %q, not %q",
+			f.Lattice, lat.Name)
+	}
+	sc, err := lattice.RestoreStepChecker(lat, f.Checker, opts.MemoCap)
+	if err != nil {
+		return nil, fmt.Errorf("relaxcheck: resume: %w", err)
+	}
+	if opts.FrontierCap > 0 {
+		sc.SetFrontierCap(opts.FrontierCap)
+	}
+	c := &Checker{
+		sc:        sc,
+		opts:      opts,
+		steps:     f.Steps,
+		prevAlive: f.PrevAlive,
+		lastLevel: f.LastLevel,
+		haveClaim: f.HaveClaim,
+		minClaim:  lattice.Set(f.MinClaim),
+		claimName: f.ClaimName,
+	}
+	if f.Violation != nil {
+		v := &Violation{
+			Kind:  f.Violation.Kind,
+			Step:  f.Violation.Step,
+			Claim: f.Violation.Claim,
+			Level: masksToSets(f.Violation.Level),
+		}
+		if f.Violation.Op != "" {
+			op, err := history.ParseOp(f.Violation.Op)
+			if err != nil {
+				return nil, fmt.Errorf("relaxcheck: resume: violation op: %w", err)
+			}
+			v.Op = op
+		}
+		c.violation = v
+	}
+	for _, s := range f.Samples {
+		c.samples = append(c.samples, Sample{Step: s.Step, Sets: masksToSets(s.Sets)})
+	}
+	return c, nil
+}

@@ -1,0 +1,329 @@
+package relaxcheck
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+	"relaxlattice/internal/sim"
+	"relaxlattice/internal/value"
+)
+
+// auditEvent is one input to the checker: exactly one of op (an
+// observed operation) or claim (a degradation claim) is set.
+type auditEvent struct {
+	op    history.Op
+	claim string
+}
+
+// genEvents derives a deterministic audit-event stream from a seed:
+// a spooler-style enqueue/dequeue mix with out-of-order dequeues (to
+// move the level), interleaved C_k claims (to move the claim floor),
+// and a rare dequeue of a never-enqueued element (to exhaust the
+// lattice). Every behavior the checker can exhibit is reachable.
+func genEvents(seed int64, n int) []auditEvent {
+	g := sim.NewRNG(seed)
+	var pending []int
+	next := 1
+	evs := make([]auditEvent, 0, n)
+	for len(evs) < n {
+		switch {
+		case g.Bool(0.12):
+			evs = append(evs, auditEvent{claim: core.ConstraintCk(1 + g.Intn(3))})
+		case g.Bool(0.02):
+			evs = append(evs, auditEvent{op: history.DeqOk(9999)}) // poison: in no element's language
+		case len(pending) == 0 || g.Bool(0.55):
+			pending = append(pending, next)
+			evs = append(evs, auditEvent{op: history.Enq(next)})
+			next++
+		default:
+			idx := 0
+			if len(pending) > 1 && g.Bool(0.4) {
+				idx = g.Intn(len(pending))
+			}
+			e := pending[idx]
+			pending = append(pending[:idx], pending[idx+1:]...)
+			evs = append(evs, auditEvent{op: history.DeqOk(e)})
+		}
+	}
+	return evs
+}
+
+func applyEvent(c *Checker, ev auditEvent) {
+	if ev.claim != "" {
+		c.ObserveClaim(0, ev.claim)
+	} else {
+		c.ObserveOp(ev.op)
+	}
+}
+
+// verdictKey flattens everything observable about the checker into one
+// comparable string.
+func verdictKey(c *Checker) string {
+	v := c.Violation()
+	vk := "-"
+	if v != nil {
+		vk = fmt.Sprintf("%s|%d|%s|%s|%v", v.Kind, v.Step, v.Op, v.Claim, v.Level)
+	}
+	var samples []string
+	for _, s := range c.Samples() {
+		samples = append(samples, fmt.Sprintf("%d:%v", s.Step, s.Sets))
+	}
+	return fmt.Sprintf("steps=%d level=%s cur=%v viol=%s floor=%s samples=%s",
+		c.Steps(), c.Level(), c.Current(), vk, c.FloorClaim(), strings.Join(samples, ","))
+}
+
+func spoolOpts() (*lattice.Relaxation, Options) {
+	lat := core.SemiqueueLattice(3)
+	return lat, Options{Claims: SpoolClaims(lat.Universe), SampleEvery: 5}
+}
+
+// TestCheckpointResumeEveryPrefix is the acceptance criterion for the
+// audit sidecar: for EVERY prefix length k, checkpointing after k
+// events and resuming yields a checker whose observable verdicts —
+// Current, Level, Violation, FloorClaim, Samples — match the
+// uninterrupted run at every subsequent step. It also pins the
+// checkpoint bytes as a pure function of state: re-checkpointing the
+// resumed checker reproduces the original bytes.
+func TestCheckpointResumeEveryPrefix(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		events := genEvents(seed, 48)
+		lat, opts := spoolOpts()
+
+		// Reference: uninterrupted run, verdict recorded after every event.
+		ref := New(lat, opts)
+		verdicts := make([]string, len(events)+1)
+		verdicts[0] = verdictKey(ref)
+		for i, ev := range events {
+			applyEvent(ref, ev)
+			verdicts[i+1] = verdictKey(ref)
+		}
+
+		for k := 0; k <= len(events); k++ {
+			a := New(lat, opts)
+			for _, ev := range events[:k] {
+				applyEvent(a, ev)
+			}
+			var ck bytes.Buffer
+			if err := a.Checkpoint(&ck); err != nil {
+				t.Fatalf("seed %d cut %d: checkpoint: %v", seed, k, err)
+			}
+			b, err := Resume(lat, opts, bytes.NewReader(ck.Bytes()))
+			if err != nil {
+				t.Fatalf("seed %d cut %d: resume: %v", seed, k, err)
+			}
+			if got := verdictKey(b); got != verdicts[k] {
+				t.Fatalf("seed %d cut %d: resumed verdict\n %s\nwant\n %s", seed, k, got, verdicts[k])
+			}
+			var ck2 bytes.Buffer
+			if err := b.Checkpoint(&ck2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ck.Bytes(), ck2.Bytes()) {
+				t.Fatalf("seed %d cut %d: re-checkpoint of resumed checker differs", seed, k)
+			}
+			for i, ev := range events[k:] {
+				applyEvent(b, ev)
+				if got := verdictKey(b); got != verdicts[k+1+i] {
+					t.Fatalf("seed %d cut %d step %d: resumed run diverged\n %s\nwant\n %s",
+						seed, k, k+1+i, got, verdicts[k+1+i])
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointResumeRejectsMismatch pins the guard rails: wrong
+// lattice, wrong version, garbage input.
+func TestCheckpointResumeRejectsMismatch(t *testing.T) {
+	lat, opts := spoolOpts()
+	c := New(lat, opts)
+	c.ObserveOp(history.Enq(1))
+	var ck bytes.Buffer
+	if err := c.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	other := core.SemiqueueLattice(2)
+	if _, err := Resume(other, opts, bytes.NewReader(ck.Bytes())); err == nil {
+		t.Fatal("resume against a different lattice succeeded")
+	}
+	bad := bytes.Replace(ck.Bytes(), []byte(`"version": 1`), []byte(`"version": 99`), 1)
+	if _, err := Resume(lat, opts, bytes.NewReader(bad)); err == nil {
+		t.Fatal("resume of future checkpoint version succeeded")
+	}
+	if _, err := Resume(lat, opts, strings.NewReader("not json")); err == nil {
+		t.Fatal("resume of garbage succeeded")
+	}
+}
+
+// growAuto is a deliberately nondeterministic test automaton: each
+// "Grow" op doubles the frontier's options (states are account
+// balances; both n and n+2^k successors survive), and "Die" rejects.
+// It exists to exercise frontier-cap abandonment, which the spooler
+// lattices (singleton frontiers on distinct elements) never trigger.
+type growAuto struct{}
+
+func (growAuto) Name() string      { return "Grow" }
+func (growAuto) Init() value.Value { return value.Account{Balance: 0} }
+func (g growAuto) Step(s value.Value, op history.Op) []value.Value {
+	n := s.(value.Account).Balance
+	switch op.Name {
+	case "Grow":
+		return []value.Value{value.Account{Balance: n}, value.Account{Balance: n + 1000}}
+	case "Die":
+		return nil
+	}
+	return []value.Value{s}
+}
+
+func growLattice() *lattice.Relaxation {
+	u := lattice.NewUniverse(lattice.Constraint{Name: "G", Desc: "growth bound"})
+	return &lattice.Relaxation{
+		Name:     "GrowLattice",
+		Universe: u,
+		Phi: func(s lattice.Set) (automaton.Automaton, bool) {
+			if s != u.All() {
+				return nil, false // φ defined only at ⊤: a one-element domain
+			}
+			return growAuto{}, true
+		},
+	}
+}
+
+// TestFrontierCapSuppressesViolations: with FrontierCap set, an
+// element whose frontier outgrows the cap is abandoned — and from then
+// on the checker must stay silent (no exhaustion verdict even on an op
+// every tracked element rejects), because the abandoned element's
+// verdict is unknown. This is the soundness contract of windowed
+// checking: no false violations, at the cost of missed ones.
+func TestFrontierCapSuppressesViolations(t *testing.T) {
+	lat := growLattice()
+	grow := history.MakeOp("Grow", nil, history.Ok, nil)
+	die := history.MakeOp("Die", nil, history.Ok, nil)
+
+	c := New(lat, Options{FrontierCap: 2})
+	c.ObserveOp(grow) // frontier 2 — at the cap, still tracked
+	if c.Abandoned() != 0 {
+		t.Fatalf("abandoned at cap: %d", c.Abandoned())
+	}
+	c.ObserveOp(grow) // frontier 4 > cap — abandoned
+	if c.Abandoned() != 1 {
+		t.Fatalf("abandoned = %d, want 1", c.Abandoned())
+	}
+	if cur := c.Current(); len(cur) != 0 {
+		t.Fatalf("abandoned element still in Current: %v", cur)
+	}
+	c.ObserveOp(die)
+	if v := c.Violation(); v != nil {
+		t.Fatalf("violation raised with an abandoned element: %v", v)
+	}
+
+	// Uncapped control: the same stream raises a real exhaustion at
+	// the Die op.
+	c2 := New(lat, Options{})
+	c2.ObserveOp(grow)
+	c2.ObserveOp(grow)
+	c2.ObserveOp(die)
+	v := c2.Violation()
+	if v == nil || v.Kind != KindExhausted || v.Step != 3 {
+		t.Fatalf("uncapped control violation = %v, want exhausted at step 3", v)
+	}
+
+	// Abandonment round-trips through a checkpoint.
+	var ck bytes.Buffer
+	if err := c.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ck.String(), lattice.StatusAbandoned) {
+		t.Fatalf("checkpoint does not record abandonment:\n%s", ck.String())
+	}
+	r, err := Resume(lat, Options{FrontierCap: 2}, bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Abandoned() != 1 || r.Violation() != nil {
+		t.Fatalf("resumed: abandoned=%d violation=%v", r.Abandoned(), r.Violation())
+	}
+	r.ObserveOp(die)
+	if r.Violation() != nil {
+		t.Fatal("resumed checker raised a violation past an abandoned element")
+	}
+}
+
+// TestSampleWindowBounds: Options.Window keeps only the most recent
+// samples, and the bound survives checkpoint/resume.
+func TestSampleWindowBounds(t *testing.T) {
+	lat, opts := spoolOpts()
+	opts.SampleEvery = 1
+	opts.Window = 4
+	c := New(lat, opts)
+	for i := 1; i <= 10; i++ {
+		c.ObserveOp(history.Enq(i))
+	}
+	s := c.Samples()
+	if len(s) != 4 {
+		t.Fatalf("kept %d samples, want 4", len(s))
+	}
+	if s[0].Step != 7 || s[3].Step != 10 {
+		t.Fatalf("window kept steps %d..%d, want 7..10", s[0].Step, s[3].Step)
+	}
+	var ck bytes.Buffer
+	if err := c.Checkpoint(&ck); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Resume(lat, opts, bytes.NewReader(ck.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ObserveOp(history.Enq(11))
+	s = r.Samples()
+	if len(s) != 4 || s[3].Step != 11 || s[0].Step != 8 {
+		t.Fatalf("resumed window = %+v, want steps 8..11", s)
+	}
+}
+
+// FuzzCheckpointResume fuzzes the differential property directly:
+// for an arbitrary seed and cut point, the checkpointed-then-resumed
+// run must match the uninterrupted run at every subsequent step.
+func FuzzCheckpointResume(f *testing.F) {
+	f.Add(int64(1), uint16(0))
+	f.Add(int64(7), uint16(10))
+	f.Add(int64(23), uint16(39))
+	f.Add(int64(-4), uint16(200))
+	f.Fuzz(func(t *testing.T, seed int64, cut uint16) {
+		const n = 40
+		events := genEvents(seed, n)
+		k := int(cut) % (n + 1)
+		lat, opts := spoolOpts()
+
+		ref := New(lat, opts)
+		a := New(lat, opts)
+		for _, ev := range events[:k] {
+			applyEvent(ref, ev)
+			applyEvent(a, ev)
+		}
+		var ck bytes.Buffer
+		if err := a.Checkpoint(&ck); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Resume(lat, opts, bytes.NewReader(ck.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := verdictKey(b), verdictKey(ref); got != want {
+			t.Fatalf("cut %d: resume verdict %q, want %q", k, got, want)
+		}
+		for i, ev := range events[k:] {
+			applyEvent(ref, ev)
+			applyEvent(b, ev)
+			if got, want := verdictKey(b), verdictKey(ref); got != want {
+				t.Fatalf("cut %d step %d: %q, want %q", k, k+1+i, got, want)
+			}
+		}
+	})
+}

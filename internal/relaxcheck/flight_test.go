@@ -1,0 +1,68 @@
+package relaxcheck
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
+)
+
+// TestFlightRecorderDumpOnViolation wires the degradation flight
+// recorder the way cmd/relaxsoak does — span mirror plus journal
+// observer, dumped by OnViolation — against the pinned refutation run
+// (naive per-rung claims under a mixed-assignment soak). The dump must
+// carry the violation header and a bounded window of the spans and
+// episodes leading up to it, and must be byte-identical across runs.
+func TestFlightRecorderDumpOnViolation(t *testing.T) {
+	run := func() []byte {
+		lat := core.TaxiSimpleLattice()
+		tr := trace.NewTracer("soak/cluster", nil)
+		rec := obs.NewRecorder()
+		fr := trace.NewFlightRecorder(64, 64)
+		tr.SetMirror(fr)
+		rec.SetObserver(fr.ObserveEvent)
+		var dump bytes.Buffer
+		_, err := RunClusterSoak(ClusterSoakConfig{
+			Workload: Workload{Kind: Bursty, Clients: 40, Ops: 1500},
+			Seed:     7,
+			Faults:   soakFaults(),
+			Trace:    rec,
+			Spans:    tr,
+			Claims:   TaxiRungLevels(lat.Universe),
+			OnViolation: func(v Violation) {
+				if err := fr.WriteDump(&dump,
+					obs.KV{K: "kind", V: v.Kind},
+					obs.KV{K: "op", V: v.Op.String()}); err != nil {
+					t.Errorf("flight dump: %v", err)
+				}
+			},
+		})
+		if err == nil {
+			t.Fatal("pinned refutation run did not violate")
+		}
+		return dump.Bytes()
+	}
+	d1 := run()
+	if len(d1) == 0 {
+		t.Fatal("no flight dump written at the violation")
+	}
+	if !bytes.Contains(d1, []byte(`"flight":"header"`)) ||
+		!bytes.Contains(d1, []byte(`"kind":"claim"`)) {
+		t.Fatalf("dump missing violation header:\n%.200s", d1)
+	}
+	if !bytes.Contains(d1, []byte(`"flight":"span"`)) {
+		t.Fatal("dump carries no spans")
+	}
+	if !bytes.Contains(d1, []byte(`"flight":"event"`)) {
+		t.Fatal("dump carries no journal events")
+	}
+	// The ring is bounded: far fewer spans kept than the run emitted.
+	if !bytes.Contains(d1, []byte(`"spans_kept":64`)) {
+		t.Fatalf("ring did not fill to its cap:\n%.200s", d1)
+	}
+	if d2 := run(); !bytes.Equal(d1, d2) {
+		t.Fatal("flight dumps differ across identical runs")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/quorum"
 	"relaxlattice/internal/resilience"
 	"relaxlattice/internal/sim"
@@ -45,6 +46,15 @@ type ClusterSoakConfig struct {
 	// TaxiClaims). Tests use TaxiRungLevels here to demonstrate that
 	// the checker refutes the nominal per-rung claims under mixing.
 	Claims map[string]lattice.Set
+	// Spans, when set, receives the run's causal span stream. The soak
+	// re-clocks the tracer onto simulated microseconds (a SimClock over
+	// the engine), so spans measure where sim-time went; protocol steps
+	// at one instant still get distinct strictly ordered boundaries.
+	Spans *trace.Tracer
+	// OnViolation, when set, fires once at the checker's first
+	// violation (the flight-recorder dump hook). It must not call back
+	// into the checker or the cluster.
+	OnViolation func(Violation)
 }
 
 // SoakReport summarizes a soak run.
@@ -142,6 +152,7 @@ func RunClusterSoak(cfg ClusterSoakConfig) (*SoakReport, error) {
 		Claims:      claims,
 		MemoCap:     cfg.MemoCap,
 		SampleEvery: cfg.SampleEvery,
+		OnViolation: cfg.OnViolation,
 	})
 	ladder := cluster.TaxiLadder(cfg.Sites)
 	// The run starts with every client on the top rung; registering that
@@ -149,6 +160,8 @@ func RunClusterSoak(cfg ClusterSoakConfig) (*SoakReport, error) {
 	// any degradation observed while the floor is still the top fails
 	// the run at the offending op.
 	checker.ObserveClaim(-1, ladder[0].Name)
+	var engine sim.Engine
+	cfg.Spans.SetClock(trace.NewSimClock(func() int64 { return int64(engine.Now() * 1e6) }))
 	c := cluster.New(cluster.Config{
 		Sites:   cfg.Sites,
 		Quorums: quorum.TaxiAssignments(cfg.Sites)["Q1Q2"],
@@ -158,10 +171,10 @@ func RunClusterSoak(cfg ClusterSoakConfig) (*SoakReport, error) {
 		Metrics: cfg.Metrics,
 		Trace:   cfg.Trace,
 		Audit:   checker,
+		Spans:   cfg.Spans,
 	})
 
 	g := sim.NewRNG(cfg.Seed)
-	var engine sim.Engine
 	plan := w.Plan(g.Split())
 	horizon := w.Horizon * 1.5
 

@@ -1,0 +1,107 @@
+package relaxcheck
+
+import (
+	"bytes"
+	"testing"
+
+	"relaxlattice/internal/obs/trace"
+)
+
+// runSpanSoak runs the pinned small soak with span tracing on and
+// returns the stream bytes.
+func runSpanSoak(t *testing.T) []byte {
+	t.Helper()
+	tr := trace.NewTracer("soak/cluster", nil)
+	cfg := ClusterSoakConfig{
+		Workload: Workload{Kind: Bursty, Clients: 8, Ops: 120},
+		Seed:     11,
+		Sites:    5,
+		Spans:    tr,
+	}
+	if _, err := RunClusterSoak(cfg); err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestClusterSoakSpansDeterministicAndLinked(t *testing.T) {
+	b1 := runSpanSoak(t)
+	b2 := runSpanSoak(t)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("span streams differ across identical runs")
+	}
+	spans, err := trace.ReadJSONL(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	links := 0
+	for _, sp := range spans {
+		counts[sp.Name]++
+		if sp.Name == "cluster.step1.view" {
+			links += len(sp.Links)
+		}
+	}
+	for _, name := range []string{"cluster.submit", "cluster.attempt", "cluster.op",
+		"cluster.step1.view", "cluster.step2.respond", "cluster.step3.record"} {
+		if counts[name] == 0 {
+			t.Fatalf("no %s spans in stream (counts: %v)", name, counts)
+		}
+	}
+	if links == 0 {
+		t.Fatalf("no happens-before links from step-1 views to prior writes")
+	}
+	// The analyzer attributes every nonzero root and per-rung time.
+	an := trace.Analyze(spans)
+	if an.Roots == 0 || an.Critical == 0 {
+		t.Fatalf("analysis degenerate: %+v", an)
+	}
+	if len(an.ByRung) == 0 {
+		t.Fatalf("no per-rung attribution")
+	}
+}
+
+func TestTxnSoakSpans(t *testing.T) {
+	run := func() ([]byte, int) {
+		tr := trace.NewTracer("soak/txn", nil)
+		cfg := TxnSoakConfig{
+			Workload: Workload{Kind: Uniform, Clients: 6, Ops: 90},
+			Seed:     5,
+			Spans:    tr,
+		}
+		rep, err := RunTxnSoak(cfg)
+		if err != nil {
+			t.Fatalf("txn soak: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), rep.Completed
+	}
+	b1, done1 := run()
+	b2, done2 := run()
+	if !bytes.Equal(b1, b2) || done1 != done2 {
+		t.Fatalf("txn span streams differ across identical runs")
+	}
+	spans, err := trace.ReadJSONL(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns, ops int
+	for _, sp := range spans {
+		switch sp.Name {
+		case "txn":
+			txns++
+		case "txn.enq", "txn.deq":
+			ops++
+		}
+	}
+	if txns == 0 || ops == 0 {
+		t.Fatalf("txn stream missing spans: %d txns, %d ops", txns, ops)
+	}
+}

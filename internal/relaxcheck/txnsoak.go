@@ -8,6 +8,7 @@ import (
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/lattice"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/sim"
 	"relaxlattice/internal/txn"
 	"relaxlattice/internal/value"
@@ -36,6 +37,13 @@ type TxnSoakConfig struct {
 	Trace       *obs.Recorder
 	SampleEvery int
 	MemoCap     int
+	// Spans, when set, receives one causal span per transaction on the
+	// schedule-index time axis (the serialization-relevant clock of the
+	// txn layer).
+	Spans *trace.Tracer
+	// OnViolation, when set, fires once at the checker's first
+	// violation (the flight-recorder dump hook).
+	OnViolation func(Violation)
 }
 
 // SpoolClaims maps each C_k level name onto its constraint set
@@ -78,6 +86,7 @@ func RunTxnSoak(cfg TxnSoakConfig) (*SoakReport, error) {
 		Claims:      SpoolClaims(lat.Universe),
 		MemoCap:     cfg.MemoCap,
 		SampleEvery: cfg.SampleEvery,
+		OnViolation: cfg.OnViolation,
 	})
 
 	cfg.Workload = cfg.Workload.Defaulted()
@@ -90,6 +99,8 @@ func RunTxnSoak(cfg TxnSoakConfig) (*SoakReport, error) {
 	q := txn.NewQueue(cfg.Strategy)
 	q.Observe(cfg.Metrics, cfg.Trace)
 	q.AttachAudit(checker)
+	cfg.Spans.SetClock(obs.ClockFunc(func() int64 { return int64(q.ScheduleLen()) }))
+	q.TraceSpans(cfg.Spans)
 
 	g := sim.NewRNG(cfg.Seed)
 	var engine sim.Engine

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 )
 
 // Observability for the transactional runtime. Logical time for every
@@ -30,6 +31,41 @@ import (
 func (q *Queue) Observe(reg *obs.Registry, rec *obs.Recorder) {
 	q.reg = reg
 	q.rec = rec
+}
+
+// TraceSpans attaches a causal-span tracer: one root span per
+// transaction, opened at Begin and closed at Commit/Abort with an
+// "outcome" attribute, with one instant child per operation. Give the
+// tracer a clock over the schedule index (obs.ClockFunc reading
+// len(Schedule)) to put transaction spans on the serialization-
+// relevant time axis of this layer. Attach before any transaction
+// begins; nil detaches (open transactions keep their spans).
+func (q *Queue) TraceSpans(tr *trace.Tracer) {
+	q.spans = tr
+	if tr != nil && q.txnSpans == nil {
+		q.txnSpans = map[ID]*trace.SpanRef{}
+	}
+}
+
+// opSpan records one instant operation span under t's transaction
+// span (no-op when spans are off or t began before attachment).
+func (q *Queue) opSpan(t ID, name string, attrs ...obs.KV) {
+	if q.spans == nil {
+		return
+	}
+	c := q.txnSpans[t].Child(name, attrs...)
+	c.End()
+}
+
+// endTxnSpan closes t's transaction span with the given outcome.
+func (q *Queue) endTxnSpan(t ID, outcome string) {
+	if q.spans == nil {
+		return
+	}
+	if sp := q.txnSpans[t]; sp != nil {
+		sp.End(obs.KV{K: "outcome", V: outcome})
+		delete(q.txnSpans, t)
+	}
 }
 
 // count bumps a queue counter (no-op when unobserved).

@@ -6,6 +6,7 @@ import (
 
 	"relaxlattice/internal/history"
 	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
 	"relaxlattice/internal/value"
 )
 
@@ -115,6 +116,12 @@ type Queue struct {
 	deqActive         map[ID]bool
 	reg               *obs.Registry // optional; nil-safe (see Observe)
 	rec               *obs.Recorder // optional; nil-safe
+	// spans, when set, receives one causal span per transaction
+	// (Begin → Commit/Abort) with an instant child per operation; see
+	// TraceSpans. txnSpans holds the open root span of each active
+	// transaction.
+	spans    *trace.Tracer
+	txnSpans map[ID]*trace.SpanRef
 	// audit, when set, receives the committed serialized history (the
 	// order HybridAtomic serializes in): at each commit, the committing
 	// transaction's operations in execution order.
@@ -170,6 +177,10 @@ func (q *Queue) Strategy() Strategy { return q.strategy }
 func (q *Queue) Begin() ID {
 	q.nextID++
 	q.status[q.nextID] = StatusActive
+	if q.spans != nil {
+		q.txnSpans[q.nextID] = q.spans.Begin("txn", txnAttr(q.nextID),
+			obs.KV{K: "strategy", V: q.strategy.String()})
+	}
 	return q.nextID
 }
 
@@ -189,6 +200,7 @@ func (q *Queue) Enq(t ID, e value.Elem) error {
 	q.pending[t] = append(q.pending[t], &entry{elem: e})
 	op := history.Enq(int(e))
 	q.schedule = append(q.schedule, Step(t, op))
+	q.opSpan(t, "txn.enq", obs.KV{K: "item", V: fmt.Sprint(e)})
 	q.buffer(t, op)
 	q.bumpConcurrency()
 	q.count("txn.enq")
@@ -230,6 +242,7 @@ func (q *Queue) Deq(t ID) (value.Elem, error) {
 		en.deqBy = append(en.deqBy, t)
 		op := history.DeqOk(int(en.elem))
 		q.schedule = append(q.schedule, Step(t, op))
+		q.opSpan(t, "txn.deq", obs.KV{K: "item", V: fmt.Sprint(en.elem)})
 		q.buffer(t, op)
 		q.deqActive[t] = true
 		q.bumpConcurrency()
@@ -258,6 +271,7 @@ func (q *Queue) Commit(t ID) error {
 	q.status[t] = StatusCommitted
 	delete(q.deqActive, t)
 	q.schedule = append(q.schedule, Commit(t))
+	q.endTxnSpan(t, "commit")
 	q.count("txn.commit")
 	q.event("txn.commit", txnAttr(t))
 	if q.audit != nil {
@@ -285,6 +299,7 @@ func (q *Queue) AbortTxn(t ID) error {
 	delete(q.deqActive, t)
 	delete(q.txnOps, t)
 	q.schedule = append(q.schedule, Abort(t))
+	q.endTxnSpan(t, "abort")
 	q.count("txn.abort")
 	q.event("txn.abort", txnAttr(t))
 	return nil
@@ -342,6 +357,10 @@ func (q *Queue) buffer(t ID, op history.Op) {
 // C_k that held throughout the execution (Section 4.2: "no more than k
 // active transactions have executed Deq operations").
 func (q *Queue) MaxConcurrentDequeuers() int { return q.concurrentDeqHigh }
+
+// ScheduleLen returns the number of scheduled steps so far — the
+// logical time axis of this layer's journal and span events.
+func (q *Queue) ScheduleLen() int { return len(q.schedule) }
 
 // Schedule returns the schedule executed so far. The copy keeps
 // q.schedule unaliased, which is what lets the runtime extend it in

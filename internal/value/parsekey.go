@@ -1,0 +1,162 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseKey inverts Key for every concrete value type in this package:
+// ParseKey(v.Key()) reconstructs a value equal to v. It is the decoder
+// of the checkpoint format — an automaton frontier serializes its
+// state-set classes as canonical Keys, and a restored audit sidecar
+// parses them back into live states (see lattice.StepChecker's
+// Snapshot/Restore). Unknown or malformed encodings return an error.
+func ParseKey(s string) (Value, error) {
+	switch {
+	case strings.HasPrefix(s, "MPQ{p:") && strings.HasSuffix(s, "}"):
+		body := s[len("MPQ{p:") : len(s)-1]
+		i := strings.Index(body, ",a:")
+		if i < 0 {
+			return nil, fmt.Errorf("value: malformed MPQ key %q", s)
+		}
+		p, err := parseBag(body[:i])
+		if err != nil {
+			return nil, fmt.Errorf("value: MPQ present: %w", err)
+		}
+		a, err := parseBag(body[i+len(",a:"):])
+		if err != nil {
+			return nil, fmt.Errorf("value: MPQ absent: %w", err)
+		}
+		return MPQ{Present: p, Absent: a}, nil
+	case strings.HasPrefix(s, "StQ{") && strings.HasSuffix(s, "}"):
+		body := s[len("StQ{") : len(s)-1]
+		i := strings.LastIndex(body, ",c:")
+		if i < 0 {
+			return nil, fmt.Errorf("value: malformed StutQ key %q", s)
+		}
+		items, err := parseSeq(body[:i])
+		if err != nil {
+			return nil, fmt.Errorf("value: StutQ items: %w", err)
+		}
+		count, err := strconv.Atoi(body[i+len(",c:"):])
+		if err != nil {
+			return nil, fmt.Errorf("value: StutQ count: %w", err)
+		}
+		return StutQ{Items: items, Count: count}, nil
+	case strings.HasPrefix(s, "SSQ{") && strings.HasSuffix(s, "]}"):
+		body := s[len("SSQ{") : len(s)-1]
+		i := strings.LastIndex(body, ",c[")
+		if i < 0 {
+			return nil, fmt.Errorf("value: malformed SSQ key %q", s)
+		}
+		items, err := parseSeq(body[:i])
+		if err != nil {
+			return nil, fmt.Errorf("value: SSQ items: %w", err)
+		}
+		counts, err := parseInts(body[i+len(",c[") : len(body)-1])
+		if err != nil {
+			return nil, fmt.Errorf("value: SSQ counts: %w", err)
+		}
+		if len(counts) != items.Size() {
+			return nil, fmt.Errorf("value: SSQ counts/items mismatch in %q", s)
+		}
+		return SSQ{Items: items, Counts: counts}, nil
+	case strings.HasPrefix(s, "Acct{") && strings.HasSuffix(s, "}"):
+		n, err := strconv.Atoi(s[len("Acct{") : len(s)-1])
+		if err != nil {
+			return nil, fmt.Errorf("value: Account balance: %w", err)
+		}
+		return Account{Balance: n}, nil
+	case strings.HasPrefix(s, "SV[") && strings.HasSuffix(s, "]"):
+		body := s[len("SV[") : len(s)-1]
+		sv := EmptyServedSeq()
+		if body == "" {
+			return sv, nil
+		}
+		for _, f := range strings.Fields(body) {
+			served := strings.HasSuffix(f, "*")
+			n, err := strconv.Atoi(strings.TrimSuffix(f, "*"))
+			if err != nil {
+				return nil, fmt.Errorf("value: ServedSeq slot %q: %w", f, err)
+			}
+			sv = sv.Append(Elem(n))
+			if served {
+				sv = sv.Serve(sv.Len() - 1)
+			}
+		}
+		return sv, nil
+	case strings.HasPrefix(s, "B["):
+		return parseBag(s)
+	case strings.HasPrefix(s, "Q["):
+		return parseSeq(s)
+	case strings.HasPrefix(s, "S["):
+		elems, err := parseElems(s[1:])
+		if err != nil {
+			return nil, fmt.Errorf("value: Set: %w", err)
+		}
+		return SetOf(elems...), nil
+	default:
+		return nil, fmt.Errorf("value: unrecognized key %q", s)
+	}
+}
+
+func parseBag(s string) (Bag, error) {
+	if !strings.HasPrefix(s, "B") {
+		return Bag{}, fmt.Errorf("not a Bag key: %q", s)
+	}
+	elems, err := parseElems(s[1:])
+	if err != nil {
+		return Bag{}, err
+	}
+	return BagOf(elems...), nil
+}
+
+func parseSeq(s string) (Seq, error) {
+	if !strings.HasPrefix(s, "Q") {
+		return Seq{}, fmt.Errorf("not a Seq key: %q", s)
+	}
+	elems, err := parseElems(s[1:])
+	if err != nil {
+		return Seq{}, err
+	}
+	return SeqOf(elems...), nil
+}
+
+// parseElems decodes "[1 2 3]" (elemsKey's output).
+func parseElems(s string) ([]Elem, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("malformed element list %q", s)
+	}
+	body := s[1 : len(s)-1]
+	if body == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(body)
+	out := make([]Elem, len(fields))
+	for i, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("element %q: %w", f, err)
+		}
+		out[i] = Elem(n)
+	}
+	return out, nil
+}
+
+// parseInts decodes a space-separated int list ("0 1 2" or "").
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(s)
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = n
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package value
+
+import "testing"
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	values := []Value{
+		EmptyBag(),
+		BagOf(3, 1, 2),
+		EmptySeq(),
+		SeqOf(2, 1, 3),
+		EmptySet(),
+		SetOf(1, 2),
+		EmptyMPQ(),
+		MPQ{Present: BagOf(1, 2), Absent: BagOf(3)},
+		EmptyStutQ(),
+		StutQ{Items: SeqOf(4, 5), Count: 2},
+		EmptySSQ(),
+		EmptySSQ().Ins(1).Ins(2).Stutter(0),
+		Account{Balance: 17},
+		EmptyServedSeq(),
+		EmptyServedSeq().Append(1).Append(2).Serve(0),
+	}
+	for _, v := range values {
+		got, err := ParseKey(v.Key())
+		if err != nil {
+			t.Fatalf("ParseKey(%q): %v", v.Key(), err)
+		}
+		if got.Key() != v.Key() {
+			t.Fatalf("round trip of %q produced %q", v.Key(), got.Key())
+		}
+	}
+}
+
+func TestParseKeyRejectsMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "X[1]", "B[1", "B[x]", "MPQ{p:B[1]}", "StQ{Q[1]}",
+		"SSQ{Q[1],c[0 0]}", "Acct{x}", "SV[1 y]",
+	} {
+		if _, err := ParseKey(s); err == nil {
+			t.Fatalf("ParseKey(%q) accepted malformed input", s)
+		}
+	}
+}
