@@ -15,7 +15,7 @@ test: vet
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/relaxcheck/ ./internal/integration/ ./internal/conc/ ./cmd/...
+	$(GO) test -race ./internal/automaton/ ./internal/experiments/ ./internal/txn/ ./internal/cluster/ ./internal/commit/ ./internal/sim/ ./internal/resilience/ ./internal/relaxcheck/ ./internal/integration/ ./internal/conc/ ./internal/relaxd/ ./cmd/...
 
 # Short native-fuzzing smoke: each target gets a bounded budget on top
 # of its checked-in seed corpus (testdata/fuzz). CI runs this; longer
@@ -25,6 +25,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzTaxiLatticeMonotonicity -fuzztime=20s ./internal/lattice/
 	$(GO) test -fuzz=FuzzStepCheckerMatchesOffline -fuzztime=20s ./internal/relaxcheck/
 	$(GO) test -fuzz=FuzzCheckpointResume -fuzztime=20s ./internal/relaxcheck/
+	$(GO) test -fuzz=FuzzDecodeFrame -fuzztime=20s ./internal/relaxd/
+	$(GO) test -fuzz=FuzzWALOpen -fuzztime=20s ./internal/relaxd/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

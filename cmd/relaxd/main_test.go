@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/relaxd"
+)
+
+// startServer runs the server in a goroutine and returns its addresses
+// plus a shutdown function that waits for the clean exit.
+func startServer(t *testing.T, args []string) ([]string, *bytes.Buffer, func() error) {
+	t.Helper()
+	var out bytes.Buffer
+	var mu sync.Mutex // out is written by the server goroutine
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	ready := make(chan []string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- run(args, w, ready, stop) }()
+	select {
+	case addrs := <-ready:
+		return addrs, &out, func() error {
+			close(stop)
+			return <-done
+		}
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+		return nil, nil, nil
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestServeAllSitesAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-sites", "3", "-listen", "127.0.0.1:0", "-dir", dir, "-sync-every", "4"}
+
+	addrs, out, shutdown := startServer(t, args)
+	if len(addrs) != 3 {
+		t.Fatalf("got %d addresses, want 3", len(addrs))
+	}
+	tr := relaxd.NewTCPTransport(addrs, 0)
+	cl := relaxd.NewClient(relaxd.PQClientConfig(tr), 4)
+	for i := 0; i < 9; i++ {
+		inv := history.EnqInv(i%5 + 1)
+		if i%3 == 2 {
+			inv = history.DeqInv()
+		}
+		if _, err := cl.Execute(inv); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	tr.Close()
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Fatalf("no clean-shutdown line:\n%s", out.String())
+	}
+
+	// Restart over the same directories: the recovery lines must report
+	// the entries the first incarnation made durable.
+	addrs, out, shutdown = startServer(t, args)
+	if !strings.Contains(out.String(), "recovered 9 entries") {
+		t.Fatalf("restart did not report recovery:\n%s", out.String())
+	}
+	tr = relaxd.NewTCPTransport(addrs, 0)
+	defer tr.Close()
+	cl = relaxd.NewClient(relaxd.PQClientConfig(tr), 5)
+	if _, err := cl.Execute(history.DeqInv()); err != nil {
+		t.Fatalf("op against recovered service: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}
+
+func TestServeSingleSite(t *testing.T) {
+	dir := t.TempDir()
+	addrs, out, shutdown := startServer(t,
+		[]string{"-site", "2", "-listen", "127.0.0.1:0", "-dir", dir})
+	if len(addrs) != 1 {
+		t.Fatalf("got %d addresses, want 1", len(addrs))
+	}
+	if !strings.Contains(out.String(), "site 2 recovered 0 entries") {
+		t.Fatalf("no recovery line for a fresh store:\n%s", out.String())
+	}
+	// A lone site of a larger service answers protocol messages even
+	// though no quorum can form around it alone.
+	tr := relaxd.NewTCPTransport([]string{addrs[0]}, 0)
+	defer tr.Close()
+	resp, err := tr.RoundTrip(0, relaxd.Message{Type: relaxd.MsgPing})
+	if err != nil || resp.Type != relaxd.MsgPong {
+		t.Fatalf("ping: %v (type %d)", err, resp.Type)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-sites", "3", "-site", "1"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("-sites with -site accepted")
+	}
+	if err := run(nil, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("neither -sites nor -site accepted")
+	}
+}

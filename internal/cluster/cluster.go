@@ -302,6 +302,21 @@ func (c *Cluster) SiteLog(site int) quorum.Log {
 	return c.logs[site]
 }
 
+// LoadSiteLog replaces one site's resident log — the oracle hook for
+// seeding a deterministic cluster from recovered durable state
+// (internal/relaxd): load each restarted replica's log, and the model
+// cluster continues executing from exactly the state the real service
+// landed on, so the checker can certify the recovery point and
+// everything after it. The view-evaluation cache is dropped: cached
+// lineages may no longer be prefixes of any resident log.
+func (c *Cluster) LoadSiteLog(site int, l quorum.Log) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logs[site] = quorum.Merge(l) // Merge of one shares the immutable log
+	c.viewCache = [viewCacheSlots]viewEntry{}
+	c.viewNext = 0
+}
+
 // Client is a protocol participant attached (by locality) to a home
 // site. Each client owns a Lamport clock with a globally unique site
 // identifier.

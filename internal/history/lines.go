@@ -25,21 +25,35 @@ func WriteLines(w io.Writer, h History) error {
 }
 
 // ReadLines parses the output of WriteLines. Blank lines are ignored;
-// anything else must be a well-formed operation execution.
+// anything else must be a well-formed operation execution — except the
+// final line of the input, where a parse failure is tolerated as a
+// torn tail and the partial line is dropped. A writer killed mid-line
+// (the routine crash case for exported histories: WriteLines emits one
+// op per '\n'-terminated line, so a torn write leaves a partial final
+// line and nothing after it) therefore still yields the complete
+// prefix; a malformed line anywhere *before* the end of the input is
+// real corruption and still fails.
 func ReadLines(r io.Reader) (History, error) {
 	var h History
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
+	var tornErr error
 	for sc.Scan() {
 		line++
+		// Anything after a bad line — even a blank — means the bad
+		// line was not a torn tail.
+		if tornErr != nil {
+			return nil, tornErr
+		}
 		s := sc.Text()
 		if s == "" {
 			continue
 		}
 		op, err := ParseOp(s)
 		if err != nil {
-			return nil, fmt.Errorf("history: line %d: %w", line, err)
+			tornErr = fmt.Errorf("history: line %d: %w", line, err)
+			continue
 		}
 		h = append(h, op)
 	}

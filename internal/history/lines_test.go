@@ -1,0 +1,68 @@
+package history
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadLinesRoundTrip(t *testing.T) {
+	h := History{Enq(3), Enq(1), DeqOk(3), Credit(10), DebitOk(5)}
+	var b bytes.Buffer
+	if err := WriteLines(&b, h); err != nil {
+		t.Fatalf("WriteLines: %v", err)
+	}
+	got, err := ReadLines(&b)
+	if err != nil {
+		t.Fatalf("ReadLines: %v", err)
+	}
+	if !got.Equal(h) {
+		t.Fatalf("round trip: got %v, want %v", got, h)
+	}
+}
+
+// TestReadLinesToleratesTornFinalLine pins the torn-tail contract: a
+// writer killed mid-line leaves a partial final line, which ReadLines
+// drops, returning the complete prefix. Damage anywhere *before* the
+// end of the input is corruption and still fails.
+func TestReadLinesToleratesTornFinalLine(t *testing.T) {
+	full := "Enq(3)/Ok()\nEnq(1)/Ok()\nDeq()/Ok(3)\n"
+	want := History{Enq(3), Enq(1)}
+
+	// Every truncation point inside the final line yields the two-op
+	// prefix — except where the truncated tail is itself a complete op
+	// (only the newline lost), which parses and is kept.
+	prefixLen := len("Enq(3)/Ok()\nEnq(1)/Ok()\n")
+	for cut := prefixLen + 1; cut < len(full); cut++ {
+		got, err := ReadLines(strings.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		expect := want
+		if tail, perr := ParseOp(full[prefixLen:cut]); perr == nil {
+			expect = append(want.Append(), tail)
+		}
+		if !got.Equal(expect) {
+			t.Fatalf("cut at %d: got %v, want %v", cut, got, expect)
+		}
+	}
+
+	// A malformed line mid-file is not a torn tail: anything after it —
+	// even a blank line — proves the writer kept going.
+	if _, err := ReadLines(strings.NewReader("Enq(3)/Ok()\nEnq(1\nDeq()/Ok(3)\n")); err == nil {
+		t.Fatal("malformed mid-file line accepted")
+	}
+	if _, err := ReadLines(strings.NewReader("Enq(3)/Ok()\nEnq(1\n\n")); err == nil {
+		t.Fatal("malformed line followed by blank accepted")
+	}
+
+	// A torn final line that happens to be a prefix of a valid op is
+	// still dropped, not misparsed.
+	got, err := ReadLines(strings.NewReader("Enq(3)/Ok()\nEnq(1)"))
+	if err != nil {
+		t.Fatalf("parseable-looking torn tail: %v", err)
+	}
+	if !got.Equal(History{Enq(3)}) {
+		t.Fatalf("parseable-looking torn tail: got %v, want [Enq(3)/Ok()]", got)
+	}
+}

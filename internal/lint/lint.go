@@ -126,6 +126,12 @@ type Config struct {
 // very nondeterminism the lattice exists to classify. The
 // path-unscoped families (lock discipline, error discipline) still
 // apply to it in full.
+//
+// internal/relaxd is absent for the same reason: it is the networked
+// runtime — real sockets, real deadlines, real fsyncs — whose
+// correctness is held to the deterministic cluster by differential
+// tests and to the lattice by the online checker, not by determinism
+// lint. Lock and error discipline apply to it in full.
 func DefaultConfig() Config {
 	return Config{
 		ModelPaths: []string{

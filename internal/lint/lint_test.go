@@ -196,6 +196,23 @@ func TestConcLayerClassification(t *testing.T) {
 	}
 }
 
+// TestRelaxdLayerClassification pins the scoping decision for the
+// networked runtime: internal/relaxd does real I/O on real clocks
+// (socket deadlines, fsync batching), so it must stay outside
+// ModelPaths — its behavior is held to the deterministic cluster by
+// the differential tests, not by determinism lint. The path-unscoped
+// families (lock discipline, error discipline) still apply.
+func TestRelaxdLayerClassification(t *testing.T) {
+	for _, path := range []string{"internal/relaxd", "fixture/internal/relaxd"} {
+		if pathMatches(path, DefaultConfig().ModelPaths) {
+			t.Fatalf("%s matched ModelPaths; the networked runtime must stay exempt from determinism rules", path)
+		}
+	}
+	if !pathMatches("internal/relaxcheck", DefaultConfig().ModelPaths) {
+		t.Fatal("internal/relaxcheck no longer matches ModelPaths; the checker is model-layer")
+	}
+}
+
 // TestLockBalanceBranchCases asserts the branch fixtures resolve the
 // way locks.go documents: conditional defers and nested guards that
 // release on every path are clean, the leaking variants are not.

@@ -1,0 +1,29 @@
+package relaxcheck
+
+import (
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/lattice"
+)
+
+// Certify replays a complete history through a fresh online checker —
+// the one-shot form of the audit, used to certify recovered state:
+// after a crash-restart, the durable logs' history must still land
+// inside the level the service claims. rung, when non-empty, is
+// registered as a standing claim (from Options.Claims, which defaults
+// to TaxiClaims over lat's universe) before the first operation, so
+// the whole history is held to that rung's constraint set; an empty
+// rung checks only that the history stays inside the lattice at all.
+// It returns the first violation, or nil when the history certifies.
+func Certify(lat *lattice.Relaxation, claims map[string]lattice.Set, rung string, h history.History) *Violation {
+	if claims == nil {
+		claims = TaxiClaims(lat.Universe)
+	}
+	c := New(lat, Options{Claims: claims})
+	if rung != "" {
+		c.ObserveClaim(-1, rung)
+	}
+	for _, op := range h {
+		c.ObserveOp(op)
+	}
+	return c.Violation()
+}

@@ -1,0 +1,248 @@
+package relaxd
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"relaxlattice/internal/automaton"
+	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/obs"
+	"relaxlattice/internal/obs/trace"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/value"
+)
+
+// ErrNoQuorumAck is returned when step 3 could not collect write-quorum
+// acknowledgements: the operation may be durable at some sites but the
+// client cannot claim it completed. The entry is NOT reported to the
+// audit — a later view may surface its effects, which is exactly the
+// ambiguity a lost ack creates in any quorum system.
+var ErrNoQuorumAck = errors.New("relaxd: write quorum not acknowledged")
+
+// ClientConfig configures a protocol client. Base, Respond, Quorums,
+// and Transport are required; Fold (preferred) or Eval supplies η.
+// The types deliberately reuse internal/cluster's: the deterministic
+// cluster is the model oracle, and the differential tests hold this
+// client to byte-equal behavior.
+type ClientConfig struct {
+	// Transport reaches the replicas.
+	Transport Transport
+	// Quorums is the base quorum assignment gating Execute.
+	Quorums quorum.Assignment
+	// Base is the simple object automaton A.
+	Base *automaton.Spec
+	// Fold is η in incremental form; it takes precedence over Eval.
+	Fold *quorum.FoldEval
+	// Eval is η over materialized histories (used when Fold is nil;
+	// both nil defaults to δ* of Base).
+	Eval quorum.Eval
+	// Respond chooses responses from views (step 2).
+	Respond cluster.Responder
+	// Audit, when set, receives every completed operation — the
+	// attachment point for the online checker, same contract as
+	// cluster.Config.Audit.
+	Audit cluster.Audit
+	// Spans, when set, receives one span per executed operation with
+	// step-1/2/3 children, rung-attributed like the cluster's.
+	Spans *trace.Tracer
+	// Metrics, when set, receives attempt/ok/unavailable counters.
+	Metrics *obs.Registry
+}
+
+// ClientHooks are test-only crash points between protocol steps.
+type ClientHooks struct {
+	// AfterStep1 runs after the views are assembled, before step 2.
+	AfterStep1 func()
+	// AfterStep2 runs after the response is chosen, before step 3.
+	AfterStep2 func()
+}
+
+// Client runs the three-step quorum protocol against live replicas.
+// It is one protocol participant: not safe for concurrent use (run
+// one Client per goroutine), exactly like a cluster.Client.
+type Client struct {
+	cfg      ClientConfig
+	clock    *quorum.Clock
+	observed history.History
+	// Degrade enables graceful degradation: when the gate quorum is
+	// unavailable the client proceeds with every responding site.
+	Degrade bool
+	// Hooks are test-only crash points. Set before use.
+	Hooks ClientHooks
+}
+
+// NewClient builds a client whose Lamport clock is identified by
+// clockSite (which must be globally unique across clients and greater
+// than every site index, mirroring cluster.Client numbering).
+func NewClient(cfg ClientConfig, clockSite int) *Client {
+	if cfg.Transport == nil || cfg.Quorums == nil || cfg.Base == nil || cfg.Respond == nil {
+		panic("relaxd: Transport, Quorums, Base, and Respond are required")
+	}
+	if cfg.Quorums.Sites() != cfg.Transport.Sites() {
+		panic(fmt.Sprintf("relaxd: assignment over %d sites, transport has %d",
+			cfg.Quorums.Sites(), cfg.Transport.Sites()))
+	}
+	if cfg.Fold == nil && cfg.Eval == nil {
+		cfg.Fold = quorum.DeltaFold(cfg.Base)
+	}
+	return &Client{cfg: cfg, clock: quorum.NewClock(clockSite)}
+}
+
+// Observed returns the client's history of completed operations in
+// completion order.
+func (c *Client) Observed() history.History {
+	return c.observed.Append() // copy
+}
+
+// Execute runs the protocol for one invocation under the base quorum
+// assignment.
+func (c *Client) Execute(inv history.Invocation) (history.Op, error) {
+	return c.execute(inv, c.cfg.Quorums, "")
+}
+
+// ExecuteUnder runs the protocol gated by an alternative quorum
+// assignment — one rung of a degradation ladder. Semantics mirror
+// (*cluster.Client).ExecuteUnder: the gate decides availability, the
+// protocol itself uses every responding site.
+func (c *Client) ExecuteUnder(inv history.Invocation, gate quorum.Assignment, label string) (history.Op, error) {
+	if gate.Sites() != c.cfg.Transport.Sites() {
+		panic(fmt.Sprintf("relaxd: gate assignment over %d sites, transport has %d",
+			gate.Sites(), c.cfg.Transport.Sites()))
+	}
+	return c.execute(inv, gate, label)
+}
+
+// Ping probes one site's liveness.
+func (c *Client) Ping(site int) error {
+	resp, err := c.cfg.Transport.RoundTrip(site, Message{Type: MsgPing})
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgPong {
+		return fmt.Errorf("%w: unexpected reply type %d", ErrFrame, resp.Type)
+	}
+	return nil
+}
+
+// execute is the protocol body. Step structure, gating, and error
+// vocabulary deliberately mirror cluster.execute.
+func (c *Client) execute(inv history.Invocation, gate quorum.Assignment, label string) (history.Op, error) {
+	n := c.cfg.Transport.Sites()
+	rung := label
+	if rung == "" {
+		rung = "base"
+	}
+	var span *trace.SpanRef
+	if c.cfg.Spans != nil {
+		span = c.cfg.Spans.Begin("relaxd.op",
+			obs.KV{K: "op", V: inv.Name},
+			obs.KV{K: "rung", V: rung})
+	}
+	c.cfg.Metrics.Counter("relaxd.execute.attempt." + inv.Name).Add(1)
+
+	// Step 1: assemble views from every site that answers — any
+	// superset of an initial quorum is an initial quorum.
+	s1 := span.Child("relaxd.step1.view")
+	logs := make([]quorum.Log, 0, n)
+	responding := make([]int, 0, n)
+	alive := make([]bool, n)
+	for site := 0; site < n; site++ {
+		resp, err := c.cfg.Transport.RoundTrip(site, Message{Type: MsgGetLog})
+		if err != nil || resp.Type != MsgLog {
+			continue
+		}
+		logs = append(logs, quorum.LogOf(resp.Entries...))
+		responding = append(responding, site)
+		alive[site] = true
+	}
+	s1.End(obs.KV{K: "sites", V: strconv.Itoa(len(responding))})
+	quorumOK := gate.HasQuorum(inv.Name, alive)
+	if !quorumOK && (label != "" || !c.Degrade) {
+		c.cfg.Metrics.Counter("relaxd.execute.unavailable." + inv.Name).Add(1)
+		span.End(obs.KV{K: "outcome", V: "unavailable"})
+		return history.Op{}, fmt.Errorf("%w: op %s reaches %d site(s)", cluster.ErrUnavailable, inv.Name, len(responding))
+	}
+	if len(responding) == 0 {
+		c.cfg.Metrics.Counter("relaxd.execute.unavailable." + inv.Name).Add(1)
+		span.End(obs.KV{K: "outcome", V: "unavailable"})
+		return history.Op{}, fmt.Errorf("%w: op %s reaches no sites", cluster.ErrUnavailable, inv.Name)
+	}
+	view := quorum.Merge(logs...)
+	states := c.evalView(view)
+	if len(states) == 0 {
+		span.End(obs.KV{K: "outcome", V: "uninterpretable"})
+		return history.Op{}, fmt.Errorf("relaxd: view not interpretable by η")
+	}
+	s := states[0]
+	if c.Hooks.AfterStep1 != nil {
+		c.Hooks.AfterStep1()
+	}
+
+	// Step 2: choose a response consistent with the view.
+	s2 := span.Child("relaxd.step2.respond")
+	op, ok := c.cfg.Respond(s, inv)
+	if !ok {
+		c.cfg.Metrics.Counter("relaxd.execute.noresponse." + inv.Name).Add(1)
+		s2.End(obs.KV{K: "outcome", V: "no-response"})
+		span.End(obs.KV{K: "outcome", V: "no-response"})
+		return history.Op{}, fmt.Errorf("%w: %s on view %s", cluster.ErrNoResponse, inv, s)
+	}
+	if !c.cfg.Base.PreHolds(s, op) {
+		c.cfg.Metrics.Counter("relaxd.execute.noresponse." + inv.Name).Add(1)
+		s2.End(obs.KV{K: "outcome", V: "no-response"})
+		span.End(obs.KV{K: "outcome", V: "no-response"})
+		return history.Op{}, fmt.Errorf("%w: precondition of %s fails on view %s", cluster.ErrNoResponse, op, s)
+	}
+	s2.End(obs.KV{K: "outcome", V: "ok"})
+	if c.Hooks.AfterStep2 != nil {
+		c.Hooks.AfterStep2()
+	}
+
+	// Step 3: append the entry and record the updated view at a write
+	// quorum of the responding sites.
+	s3 := span.Child("relaxd.step3.record")
+	if maxTS, any := view.MaxTS(); any {
+		c.clock.Witness(maxTS)
+	}
+	entry := quorum.Entry{TS: c.clock.Tick(), Op: op}
+	updated := view.Append(entry).Entries()
+	acked := make([]bool, n)
+	nacked := 0
+	for _, site := range responding {
+		resp, err := c.cfg.Transport.RoundTrip(site, Message{Type: MsgAppend, Entries: updated})
+		if err != nil || resp.Type != MsgAck {
+			continue
+		}
+		acked[site] = true
+		nacked++
+	}
+	s3.End(obs.KV{K: "sites", V: strconv.Itoa(nacked)})
+	if !gate.HasQuorum(inv.Name, acked) && (label != "" || !c.Degrade) {
+		c.cfg.Metrics.Counter("relaxd.execute.noack." + inv.Name).Add(1)
+		span.End(obs.KV{K: "outcome", V: "no-quorum-ack"})
+		return history.Op{}, fmt.Errorf("%w: op %s acked by %d of %d site(s)",
+			ErrNoQuorumAck, inv.Name, nacked, len(responding))
+	}
+	if nacked == 0 {
+		c.cfg.Metrics.Counter("relaxd.execute.noack." + inv.Name).Add(1)
+		span.End(obs.KV{K: "outcome", V: "no-quorum-ack"})
+		return history.Op{}, fmt.Errorf("%w: op %s acked by no sites", ErrNoQuorumAck, inv.Name)
+	}
+	c.observed = append(c.observed, op)
+	c.cfg.Metrics.Counter("relaxd.execute.ok." + inv.Name).Add(1)
+	if c.cfg.Audit != nil {
+		c.cfg.Audit.ObserveOp(op)
+	}
+	span.End(obs.KV{K: "outcome", V: "ok"})
+	return op, nil
+}
+
+// evalView interprets a view through η.
+func (c *Client) evalView(view quorum.Log) []value.Value {
+	if c.cfg.Fold != nil {
+		return c.cfg.Fold.EvalLog(view)
+	}
+	return c.cfg.Eval(view.History())
+}

@@ -1,0 +1,209 @@
+package relaxd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"relaxlattice/internal/quorum"
+)
+
+// ErrDown is the transport-level failure for a replica that is crashed
+// (in-process transports) or unreachable (TCP dial/IO failures wrap
+// their own errors but mean the same thing to the protocol: the site
+// does not respond and drops out of the quorum).
+var ErrDown = errors.New("relaxd: site down")
+
+// ReplicaHooks are test-only crash points. Production replicas leave
+// them nil.
+type ReplicaHooks struct {
+	// BeforeAppend, when set, runs before a received entry is written
+	// to the WAL; returning an error aborts the append un-durably (a
+	// crash before the write reached the log).
+	BeforeAppend func(site int, e quorum.Entry) error
+	// BeforeAck, when set, runs after the WAL append and sync but
+	// before the acknowledgement is sent; returning an error drops the
+	// ack (a crash in the window where the entry is durable but the
+	// client does not know it).
+	BeforeAck func(site int) error
+}
+
+// Replica is one site: a resident log, its durable store, and the
+// message handler the transports dispatch into. All state is guarded
+// by mu; handlers are safe for concurrent connections.
+type Replica struct {
+	mu    sync.Mutex
+	site  int
+	dir   string       // "" for an ephemeral (in-memory) replica
+	opts  StoreOptions // retained for Restart
+	store *Store       // guarded by mu; nil when ephemeral or crashed
+	log   quorum.Log   // guarded by mu
+	down  bool         // guarded by mu
+	// appended counts WAL records since the last snapshot; guarded by mu.
+	appended int
+	// SnapshotEvery, when positive, publishes a snapshot (and resets
+	// the WAL) every SnapshotEvery appended entries. Set before serving.
+	SnapshotEvery int
+	// Hooks are test-only crash points. Set before serving.
+	Hooks ReplicaHooks
+}
+
+// OpenReplica opens site's durable store under dir and recovers its
+// log. An empty dir creates an ephemeral replica (no durability) —
+// the deterministic-test configuration.
+func OpenReplica(site int, dir string, opts StoreOptions) (*Replica, RecoveryInfo, error) {
+	r := &Replica{site: site, dir: dir, opts: opts}
+	if dir == "" {
+		return r, RecoveryInfo{}, nil
+	}
+	store, log, info, err := OpenStore(dir, opts)
+	if err != nil {
+		return nil, info, err
+	}
+	r.store = store
+	r.log = log
+	return r, info, nil
+}
+
+// Site returns the replica's site index.
+func (r *Replica) Site() int { return r.site }
+
+// Log returns a copy of the resident log.
+func (r *Replica) Log() quorum.Log {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return quorum.Merge(r.log) // Merge of one shares the immutable log
+}
+
+// Crash simulates a hard kill: the replica stops answering, its
+// in-memory state is dropped, and its store is closed without any
+// final flush beyond what Append already made durable.
+func (r *Replica) Crash() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down = true
+	r.log = quorum.Log{}
+	if r.store != nil {
+		// A real crash would not even close(2); closing the descriptor
+		// loses nothing that Append had not already written.
+		r.store.wal.Close()
+		r.store = nil
+	}
+}
+
+// Restart recovers a crashed replica from its durable store — the
+// crash-restart headline. Ephemeral replicas restart empty (they have
+// no durability to recover from).
+func (r *Replica) Restart() (RecoveryInfo, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.down {
+		return RecoveryInfo{}, fmt.Errorf("relaxd: site %d is not down", r.site)
+	}
+	if r.dir == "" {
+		r.down = false
+		r.log = quorum.Log{}
+		return RecoveryInfo{}, nil
+	}
+	store, log, info, err := OpenStore(r.dir, r.opts)
+	if err != nil {
+		return info, err
+	}
+	r.store = store
+	r.log = log
+	r.down = false
+	r.appended = 0
+	return info, nil
+}
+
+// Close shuts the replica down cleanly (final sync included).
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.down = true
+	if r.store == nil {
+		return nil
+	}
+	err := r.store.Close()
+	r.store = nil
+	return err
+}
+
+// Handle processes one protocol message and returns the reply. A
+// non-nil error is a transport-level failure — the site gives no
+// answer at all (down, or a test hook simulating a crash mid-request).
+func (r *Replica) Handle(req Message) (Message, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.down {
+		return Message{}, fmt.Errorf("%w: site %d", ErrDown, r.site)
+	}
+	switch req.Type {
+	case MsgPing:
+		return Message{Type: MsgPong}, nil
+	case MsgGetLog:
+		return Message{Type: MsgLog, Entries: r.log.Entries()}, nil
+	case MsgAppend:
+		return r.applyAppend(req.Entries)
+	}
+	return Message{Type: MsgErr, Err: fmt.Sprintf("unexpected message type %d", req.Type)}, nil
+}
+
+// applyAppend merges a received view into the resident log, making
+// every entry the site is missing durable before acknowledging.
+// Caller holds mu.
+//
+//lint:ignore lock-guard caller holds mu (Handle acquires it)
+func (r *Replica) applyAppend(view []quorum.Entry) (Message, error) {
+	var missing []quorum.Entry
+	for _, e := range view {
+		if !r.log.Contains(e.TS) {
+			missing = append(missing, e)
+		}
+	}
+	for _, e := range missing {
+		if r.Hooks.BeforeAppend != nil {
+			if err := r.Hooks.BeforeAppend(r.site, e); err != nil {
+				r.crashLocked()
+				return Message{}, err
+			}
+		}
+		if r.store != nil {
+			if err := r.store.Append(e); err != nil {
+				return Message{Type: MsgErr, Err: err.Error()}, nil
+			}
+		}
+	}
+	if r.store != nil {
+		if err := r.store.Sync(); err != nil {
+			return Message{Type: MsgErr, Err: err.Error()}, nil
+		}
+	}
+	if r.Hooks.BeforeAck != nil {
+		if err := r.Hooks.BeforeAck(r.site); err != nil {
+			r.crashLocked()
+			return Message{}, err
+		}
+	}
+	r.log = quorum.Merge(r.log, quorum.LogOf(missing...))
+	r.appended += len(missing)
+	if r.store != nil && r.SnapshotEvery > 0 && r.appended >= r.SnapshotEvery {
+		if err := r.store.Snapshot(r.log); err != nil {
+			return Message{Type: MsgErr, Err: err.Error()}, nil
+		}
+		r.appended = 0
+	}
+	return Message{Type: MsgAck, N: len(missing)}, nil
+}
+
+// crashLocked is Crash with mu already held (hook-triggered crashes).
+//
+//lint:ignore lock-guard caller holds mu (hook paths inside Handle)
+func (r *Replica) crashLocked() {
+	r.down = true
+	r.log = quorum.Log{}
+	if r.store != nil {
+		r.store.wal.Close()
+		r.store = nil
+	}
+}

@@ -1,0 +1,81 @@
+package relaxd
+
+import (
+	"fmt"
+	"net"
+	"path/filepath"
+
+	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/specs"
+)
+
+// PQClientConfig returns a ClientConfig pre-wired for the replicated
+// taxi priority queue — the same object, η, and responder the
+// deterministic cluster soaks run — over the given transport at the
+// strongest rung of quorum.TaxiAssignments.
+func PQClientConfig(t Transport) ClientConfig {
+	return ClientConfig{
+		Transport: t,
+		Quorums:   quorum.TaxiAssignments(t.Sites())["Q1Q2"],
+		Base:      specs.PriorityQueue(),
+		Fold:      quorum.PQFold(),
+		Respond:   cluster.PQResponder,
+	}
+}
+
+// OpenSites opens one durable replica per site under dir/site<i>
+// (ephemeral replicas when dir is empty) — the goroutine-per-site
+// building block shared by the local service, cmd/relaxd, and the
+// crash-injection harness.
+func OpenSites(dir string, sites int, opts StoreOptions) ([]*Replica, error) {
+	replicas := make([]*Replica, sites)
+	for i := range replicas {
+		sub := ""
+		if dir != "" {
+			sub = filepath.Join(dir, fmt.Sprintf("site%d", i))
+		}
+		r, _, err := OpenReplica(i, sub, opts)
+		if err != nil {
+			for _, open := range replicas[:i] {
+				open.Close()
+			}
+			return nil, err
+		}
+		replicas[i] = r
+	}
+	return replicas, nil
+}
+
+// SiteServer is one replica serving TCP on its own listener, with the
+// accept loop on its own goroutine — the goroutine-per-site shape.
+type SiteServer struct {
+	Replica *Replica
+	lis     net.Listener
+}
+
+// ListenSite starts serving r on addr (host:0 picks a free port).
+func ListenSite(addr string, r *Replica) (*SiteServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &SiteServer{Replica: r, lis: lis}
+	go func() {
+		// Serve exits when the listener closes; nothing to report.
+		Serve(lis, r)
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's address.
+func (s *SiteServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting and closes the replica cleanly.
+func (s *SiteServer) Close() error {
+	err := s.lis.Close()
+	if cerr := s.Replica.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

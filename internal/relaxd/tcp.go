@@ -1,0 +1,131 @@
+package relaxd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport reaches each site at a fixed address over one cached
+// connection, redialing on failure. Any I/O error closes the cached
+// connection and reports the site unreachable for that call — the
+// protocol treats it exactly like a crashed site and proceeds with
+// the sites that do answer.
+type TCPTransport struct {
+	mu      sync.Mutex
+	addrs   []string
+	conns   []net.Conn // guarded by mu; nil entries redial lazily
+	timeout time.Duration
+}
+
+// NewTCPTransport builds a transport over one address per site.
+// timeout bounds each dial and each request/reply exchange; 0 means
+// 5 seconds.
+func NewTCPTransport(addrs []string, timeout time.Duration) *TCPTransport {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &TCPTransport{
+		addrs:   append([]string(nil), addrs...),
+		conns:   make([]net.Conn, len(addrs)),
+		timeout: timeout,
+	}
+}
+
+// Sites returns the number of configured sites.
+func (t *TCPTransport) Sites() int { return len(t.addrs) }
+
+// RoundTrip performs one framed exchange with site.
+func (t *TCPTransport) RoundTrip(site int, req Message) (Message, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if site < 0 || site >= len(t.addrs) {
+		return Message{}, fmt.Errorf("relaxd: site %d out of range", site)
+	}
+	c := t.conns[site]
+	if c == nil {
+		var err error
+		c, err = net.DialTimeout("tcp", t.addrs[site], t.timeout)
+		if err != nil {
+			return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+		}
+		t.conns[site] = c
+	}
+	if err := c.SetDeadline(time.Now().Add(t.timeout)); err != nil {
+		t.drop(site)
+		return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+	}
+	if err := WriteFrame(c, req); err != nil {
+		t.drop(site)
+		return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+	}
+	resp, err := ReadFrame(c)
+	if err != nil {
+		t.drop(site)
+		return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+	}
+	return resp, nil
+}
+
+// drop closes and forgets a failed connection. Caller holds mu.
+//
+//lint:ignore lock-guard caller holds mu (RoundTrip error paths)
+func (t *TCPTransport) drop(site int) {
+	if c := t.conns[site]; c != nil {
+		c.Close()
+		t.conns[site] = nil
+	}
+}
+
+// Close closes every cached connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for i, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+		t.conns[i] = nil
+	}
+	return first
+}
+
+// Serve accepts connections on l and answers framed requests against
+// r until l is closed (which makes Accept return and Serve exit) —
+// goroutine-per-connection, one length-prefixed exchange at a time
+// per connection. A replica that is down answers nothing: the
+// connection is closed, which the client reads as unreachability.
+func Serve(l net.Listener, r *Replica) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go serveConn(conn, r)
+	}
+}
+
+// serveConn runs the request loop for one connection.
+func serveConn(conn net.Conn, r *Replica) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for {
+		req, err := ReadFrame(br)
+		if err != nil {
+			return // EOF, peer reset, or garbage: drop the connection
+		}
+		resp, err := r.Handle(req)
+		if err != nil {
+			return // down / crash hook: vanish like a dead site
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package relaxd
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// Transport carries one request/reply exchange to a site. The client
+// library is transport-agnostic: the in-process transport gives
+// deterministic tier-1 tests (synchronous calls, no sockets, no
+// sleeps), the TCP transport is the production face. A transport
+// error means the site gave no answer and drops out of the quorum for
+// that protocol step.
+type Transport interface {
+	// Sites returns how many sites the transport can reach.
+	Sites() int
+	// RoundTrip sends req to site and returns its reply.
+	RoundTrip(site int, req Message) (Message, error)
+}
+
+// Local is the in-process transport over a fixed set of replicas:
+// every call is a synchronous handler dispatch, with the request and
+// reply both pushed through the real wire codec so the deterministic
+// tests exercise the same byte path TCP does.
+type Local struct {
+	replicas []*Replica
+}
+
+// NewLocal builds the in-process transport.
+func NewLocal(replicas []*Replica) *Local {
+	return &Local{replicas: replicas}
+}
+
+// Sites returns the number of reachable sites.
+func (t *Local) Sites() int { return len(t.replicas) }
+
+// Replica exposes site's replica (for crash/restart harnesses).
+func (t *Local) Replica(site int) *Replica { return t.replicas[site] }
+
+// RoundTrip encodes req, decodes it on the "server" side, dispatches
+// it to the replica, and round-trips the reply the same way.
+func (t *Local) RoundTrip(site int, req Message) (Message, error) {
+	if site < 0 || site >= len(t.replicas) {
+		return Message{}, fmt.Errorf("relaxd: site %d out of range", site)
+	}
+	decoded, err := reencode(req)
+	if err != nil {
+		return Message{}, err
+	}
+	resp, err := t.replicas[site].Handle(decoded)
+	if err != nil {
+		return Message{}, err
+	}
+	return reencode(resp)
+}
+
+// reencode pushes a message through the wire codec (frame out, frame
+// back in), so in-process calls see exactly the bytes TCP would.
+func reencode(m Message) (Message, error) {
+	var b bytes.Buffer
+	if err := WriteFrame(&b, m); err != nil {
+		return Message{}, err
+	}
+	return ReadFrame(&b)
+}

@@ -1,0 +1,417 @@
+package relaxd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"relaxlattice/internal/quorum"
+)
+
+// Store file layout (DESIGN.md §15 has the byte diagram):
+//
+//	wal:  [8-byte magic "rlxwal1\n"] record*
+//	snap: [8-byte magic "rlxsnp1\n"] [4-byte BE count] record*
+//
+//	record: [4-byte BE payload len][4-byte BE CRC32-IEEE(payload)][payload]
+//	payload: one log entry (appendEntry encoding), 1..maxRecord bytes
+//
+// The WAL is append-only; the snapshot is written to snap.tmp, fsynced,
+// and atomically renamed over snap (then the directory is fsynced), so
+// a reader never observes a half-published snapshot. Every payload
+// carries its own CRC; a zero-length record is invalid by construction,
+// which keeps a zero-filled tail (CRC32("")==0) from decoding as a
+// valid empty record.
+const (
+	walMagic  = "rlxwal1\n"
+	snapMagic = "rlxsnp1\n"
+	headerLen = 8
+	recHdrLen = 8
+	maxRecord = MaxFrame
+)
+
+// ErrCorrupt is the store's typed refusal: the on-disk state is
+// damaged in a way that truncated-tail repair cannot explain (a bad
+// record with intact data after it, a mangled snapshot, a foreign
+// header). Open never silently drops interior data — it either
+// recovers a prefix that a torn final write explains, or returns an
+// error wrapping ErrCorrupt.
+var ErrCorrupt = errors.New("relaxd: corrupt store")
+
+// StoreOptions tunes durability.
+type StoreOptions struct {
+	// SyncEvery batches fsyncs: the WAL is fsynced after every
+	// SyncEvery appended records (and on Sync/Snapshot/Close). 0 or 1
+	// syncs every append — the durable default.
+	SyncEvery int
+}
+
+// RecoveryInfo reports what OpenStore found.
+type RecoveryInfo struct {
+	// SnapshotEntries is the number of entries loaded from the
+	// published snapshot (0 when none exists).
+	SnapshotEntries int
+	// WALEntries is the number of entries replayed from the WAL.
+	WALEntries int
+	// RepairedBytes is how many trailing bytes of the WAL were
+	// discarded as a torn final write (0 on a clean open).
+	RepairedBytes int
+}
+
+// Store is one site's durable log: a write-ahead log of entries plus a
+// periodically published snapshot. It is not safe for concurrent use;
+// the owning Replica serializes access behind its own mutex.
+type Store struct {
+	dir     string
+	wal     *os.File
+	walSize int64
+	pending int
+	opts    StoreOptions
+	buf     []byte // scratch for record encoding
+}
+
+// OpenStore opens (creating if absent) the site store in dir and
+// recovers its log: the published snapshot, if any, merged with every
+// WAL record that passes validation. A torn final write — truncated
+// record, zero-filled tail, or a corrupt last record — is repaired by
+// truncating the WAL back to its last valid record. Anything else
+// (a bad record with valid data after it, a damaged snapshot) refuses
+// with an error wrapping ErrCorrupt.
+func OpenStore(dir string, opts StoreOptions) (*Store, quorum.Log, RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, quorum.Log{}, info, err
+	}
+	// A leftover snap.tmp is a snapshot that never published; the
+	// WAL+old snapshot still hold everything it held.
+	if err := os.Remove(filepath.Join(dir, "snap.tmp")); err != nil && !os.IsNotExist(err) {
+		return nil, quorum.Log{}, info, err
+	}
+
+	snapLog, snapN, err := readSnapshot(filepath.Join(dir, "snap"))
+	if err != nil {
+		return nil, quorum.Log{}, info, err
+	}
+	info.SnapshotEntries = snapN
+
+	walPath := filepath.Join(dir, "wal")
+	data, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, quorum.Log{}, info, err
+	}
+	entries, goodLen, err := recoverWAL(data)
+	if err != nil {
+		return nil, quorum.Log{}, info, fmt.Errorf("%s: %w", walPath, err)
+	}
+	info.WALEntries = len(entries)
+	info.RepairedBytes = len(data) - goodLen
+
+	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, quorum.Log{}, info, err
+	}
+	s := &Store{dir: dir, wal: f, opts: opts}
+	if goodLen < headerLen {
+		// Fresh or torn-at-creation WAL: (re)write the header.
+		if err := s.resetWAL(); err != nil {
+			f.Close()
+			return nil, quorum.Log{}, info, err
+		}
+	} else if goodLen < len(data) {
+		// Torn final write: discard the tail.
+		if err := f.Truncate(int64(goodLen)); err != nil {
+			f.Close()
+			return nil, quorum.Log{}, info, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, quorum.Log{}, info, err
+		}
+		s.walSize = int64(goodLen)
+	} else {
+		s.walSize = int64(goodLen)
+	}
+	if _, err := f.Seek(s.walSize, 0); err != nil {
+		f.Close()
+		return nil, quorum.Log{}, info, err
+	}
+	return s, quorum.Merge(snapLog, quorum.LogOf(entries...)), info, nil
+}
+
+// recoverWAL validates a raw WAL image (header + records). It returns
+// the decoded entries of every valid record and the byte length of the
+// valid prefix. goodLen < len(data) means a torn tail was identified
+// and should be truncated; goodLen < headerLen means the header itself
+// must be rewritten. An inconsistency that a torn final write cannot
+// explain returns an error wrapping ErrCorrupt.
+func recoverWAL(data []byte) (entries []quorum.Entry, goodLen int, err error) {
+	if len(data) < headerLen {
+		// Nothing, or a torn header write: repairable iff the bytes are
+		// a prefix of the magic (the only thing ever written first).
+		if bytes.Equal(data, []byte(walMagic)[:len(data)]) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("%w: %d-byte file is not a WAL prefix", ErrCorrupt, len(data))
+	}
+	if string(data[:headerLen]) != walMagic {
+		return nil, 0, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, data[:headerLen])
+	}
+	o := headerLen
+	for o < len(data) {
+		e, n, ok, err := readRecord(data[o:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w at offset %d", err, o)
+		}
+		if !ok {
+			// Structurally broken or CRC-failed record. A torn final
+			// write explains it only if nothing meaningful follows:
+			// either the breakage runs to EOF as the last record, or
+			// the rest of the file is zero fill (preallocated blocks).
+			if torn(data[o:], n) {
+				return entries, o, nil
+			}
+			return nil, 0, fmt.Errorf("%w: bad record at offset %d with %d live bytes after it",
+				ErrCorrupt, o, len(data)-o)
+		}
+		entries = append(entries, e)
+		o += n
+	}
+	return entries, o, nil
+}
+
+// readRecord parses one record off the front of b. ok=false with
+// n=the structural length means the record is complete but fails
+// validation (CRC or payload decode); ok=false with n=0 means the
+// record is structurally incomplete or its header is implausible.
+// A non-nil error is returned only for payload bytes whose CRC passes
+// but which do not decode — that is never a torn write.
+func readRecord(b []byte) (e quorum.Entry, n int, ok bool, err error) {
+	if len(b) < recHdrLen {
+		return quorum.Entry{}, 0, false, nil
+	}
+	l := binary.BigEndian.Uint32(b[:4])
+	if l == 0 || l > maxRecord {
+		return quorum.Entry{}, 0, false, nil
+	}
+	if recHdrLen+int(l) > len(b) {
+		return quorum.Entry{}, 0, false, nil
+	}
+	n = recHdrLen + int(l)
+	payload := b[recHdrLen:n]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(b[4:8]) {
+		return quorum.Entry{}, n, false, nil
+	}
+	e, rest, derr := decodeEntry(payload)
+	if derr != nil || len(rest) != 0 {
+		return quorum.Entry{}, 0, false,
+			fmt.Errorf("%w: record passes CRC but does not decode", ErrCorrupt)
+	}
+	return e, n, true, nil
+}
+
+// torn reports whether a validation failure at the start of b is
+// explicable as a torn final write. n is readRecord's structural
+// length (0 when the record was structurally incomplete or its header
+// implausible). The cases:
+//
+//   - a CRC-failed but structurally complete record (n > 0) is torn
+//     iff it runs to EOF or everything after it is zero fill;
+//   - a tail shorter than one record header is always torn;
+//   - an implausible length field (0 or > maxRecord) is torn only when
+//     the whole remainder is zero fill — records are written in one
+//     contiguous write, so a torn write leaves a *prefix*, and a
+//     prefix of ≥ 4 bytes carries the true length; live garbage there
+//     is corruption;
+//   - a plausible length extending past EOF is a torn payload.
+func torn(b []byte, n int) bool {
+	if n > 0 {
+		return n >= len(b) || zeroFilled(b[n:])
+	}
+	if len(b) < recHdrLen {
+		return true
+	}
+	l := binary.BigEndian.Uint32(b[:4])
+	if l == 0 || l > maxRecord {
+		return zeroFilled(b)
+	}
+	return true
+}
+
+// zeroFilled reports whether every byte of b is zero.
+func zeroFilled(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// appendRecord encodes one record (header + entry payload) onto b.
+func appendRecord(b []byte, e quorum.Entry) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, 0, 0, 0, 0)
+	b, err := appendEntry(b, e)
+	if err != nil {
+		return nil, err
+	}
+	payload := b[start+recHdrLen:]
+	if len(payload) > maxRecord {
+		return nil, fmt.Errorf("%w: %d-byte record", ErrFrame, len(payload))
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(b[start+4:], crc32.ChecksumIEEE(payload))
+	return b, nil
+}
+
+// Append makes one entry durable: the record is written to the WAL and
+// fsynced according to StoreOptions.SyncEvery.
+func (s *Store) Append(e quorum.Entry) error {
+	b, err := appendRecord(s.buf[:0], e)
+	if err != nil {
+		return err
+	}
+	s.buf = b[:0]
+	if _, err := s.wal.Write(b); err != nil {
+		return err
+	}
+	s.walSize += int64(len(b))
+	s.pending++
+	if s.opts.SyncEvery <= 1 || s.pending >= s.opts.SyncEvery {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Sync flushes any batched appends to stable storage.
+func (s *Store) Sync() error {
+	if s.pending == 0 {
+		return nil
+	}
+	s.pending = 0
+	return s.wal.Sync()
+}
+
+// Snapshot publishes the given log as the site's snapshot — written to
+// snap.tmp, fsynced, renamed over snap, directory fsynced — and then
+// resets the WAL, whose entries the snapshot now covers. The publish
+// is atomic: a crash anywhere leaves either the old snapshot with the
+// full WAL or the new snapshot with a reset (or stale-but-merged,
+// since Merge deduplicates by timestamp) WAL.
+func (s *Store) Snapshot(l quorum.Log) error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	b := make([]byte, 0, headerLen+4+l.Len()*32)
+	b = append(b, snapMagic...)
+	b = binary.BigEndian.AppendUint32(b, uint32(l.Len()))
+	for i := 0; i < l.Len(); i++ {
+		var err error
+		b, err = appendRecord(b, l.Entry(i))
+		if err != nil {
+			return err
+		}
+	}
+	tmp := filepath.Join(s.dir, "snap.tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, "snap")); err != nil {
+		return err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	return s.resetWAL()
+}
+
+// resetWAL truncates the WAL to a fresh header.
+func (s *Store) resetWAL() error {
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	if _, err := s.wal.WriteString(walMagic); err != nil {
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	s.walSize = headerLen
+	s.pending = 0
+	return nil
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	if err := s.Sync(); err != nil {
+		s.wal.Close()
+		return err
+	}
+	return s.wal.Close()
+}
+
+// readSnapshot loads and validates the published snapshot. A missing
+// snapshot is an empty log; anything structurally wrong is ErrCorrupt
+// (snapshots publish atomically, so damage is never a torn write).
+func readSnapshot(path string) (quorum.Log, int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return quorum.Log{}, 0, nil
+	}
+	if err != nil {
+		return quorum.Log{}, 0, err
+	}
+	if len(data) < headerLen+4 || string(data[:headerLen]) != snapMagic {
+		return quorum.Log{}, 0, fmt.Errorf("%s: %w: bad snapshot header", path, ErrCorrupt)
+	}
+	count := binary.BigEndian.Uint32(data[headerLen : headerLen+4])
+	b := data[headerLen+4:]
+	if uint64(count) > uint64(len(b)/recHdrLen+1) {
+		return quorum.Log{}, 0, fmt.Errorf("%s: %w: %d entries declared in %d bytes", path, ErrCorrupt, count, len(b))
+	}
+	entries := make([]quorum.Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		e, n, ok, err := readRecord(b)
+		if err != nil || !ok {
+			return quorum.Log{}, 0, fmt.Errorf("%s: %w: bad snapshot record %d", path, ErrCorrupt, i)
+		}
+		entries = append(entries, e)
+		b = b[n:]
+	}
+	if len(b) != 0 {
+		return quorum.Log{}, 0, fmt.Errorf("%s: %w: %d trailing snapshot bytes", path, ErrCorrupt, len(b))
+	}
+	return quorum.LogOf(entries...), len(entries), nil
+}
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

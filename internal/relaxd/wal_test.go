@@ -1,0 +1,211 @@
+package relaxd
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+)
+
+// serialPQEntries builds n entries forming a legal serial priority-queue
+// history (so any prefix certifies at the top of the taxi lattice).
+func serialPQEntries(n int) []quorum.Entry {
+	entries := make([]quorum.Entry, 0, n)
+	var held []int // multiset of enqueued-but-not-dequeued elements
+	next := 1
+	for i := 0; i < n; i++ {
+		var op history.Op
+		// Deterministic mix: two enqueues, then a dequeue of the max.
+		if i%3 == 2 && len(held) > 0 {
+			max, at := held[0], 0
+			for j, v := range held {
+				if v > max {
+					max, at = v, j
+				}
+			}
+			held = append(held[:at], held[at+1:]...)
+			op = history.DeqOk(max)
+		} else {
+			// Elements cycle through 1..9 so repeats occur.
+			e := next%9 + 1
+			next++
+			held = append(held, e)
+			op = history.Enq(e)
+		}
+		entries = append(entries, quorum.Entry{TS: ts(i+1, 6), Op: op})
+	}
+	return entries
+}
+
+func TestStoreAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, log, info, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore fresh: %v", err)
+	}
+	if log.Len() != 0 || info.SnapshotEntries != 0 || info.WALEntries != 0 || info.RepairedBytes != 0 {
+		t.Fatalf("fresh store not empty: log=%d info=%+v", log.Len(), info)
+	}
+	entries := serialPQEntries(17)
+	for _, e := range entries {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, log2, info2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore reopen: %v", err)
+	}
+	defer s2.Close()
+	if info2.WALEntries != len(entries) || info2.RepairedBytes != 0 {
+		t.Fatalf("reopen info %+v, want %d WAL entries and no repair", info2, len(entries))
+	}
+	if !log2.Equal(quorum.LogOf(entries...)) {
+		t.Fatalf("recovered log differs:\n got %s\nwant %s", log2, quorum.LogOf(entries...))
+	}
+}
+
+func TestStoreSyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := OpenStore(dir, StoreOptions{SyncEvery: 8})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	defer s.Close()
+	for _, e := range serialPQEntries(20) {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if s.pending >= 8 {
+		t.Fatalf("pending %d never flushed with SyncEvery=8", s.pending)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if s.pending != 0 {
+		t.Fatalf("pending %d after explicit Sync", s.pending)
+	}
+}
+
+func TestStoreSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	entries := serialPQEntries(12)
+	for _, e := range entries[:8] {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Snapshot(quorum.LogOf(entries[:8]...)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	// Snapshot resets the WAL; post-snapshot appends land there.
+	for _, e := range entries[8:] {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append after snapshot: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	s2, log, info, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if info.SnapshotEntries != 8 || info.WALEntries != 4 {
+		t.Fatalf("recovery info %+v, want 8 snapshot + 4 WAL entries", info)
+	}
+	if !log.Equal(quorum.LogOf(entries...)) {
+		t.Fatalf("recovered log differs after snapshot:\n got %s\nwant %s", log, quorum.LogOf(entries...))
+	}
+}
+
+func TestOpenStoreDiscardsLeftoverSnapshotTmp(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	entries := serialPQEntries(5)
+	for _, e := range entries {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A crash mid-snapshot leaves snap.tmp but never the renamed snap;
+	// the WAL still holds everything.
+	if err := os.WriteFile(filepath.Join(dir, "snap.tmp"), []byte("half a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, log, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("reopen with leftover snap.tmp: %v", err)
+	}
+	defer s2.Close()
+	if !log.Equal(quorum.LogOf(entries...)) {
+		t.Fatalf("log lost entries after snap.tmp cleanup")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snap.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("snap.tmp not removed: %v", err)
+	}
+}
+
+func TestOpenStoreRefusesDamagedSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s, _, _, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	entries := serialPQEntries(6)
+	for _, e := range entries {
+		if err := s.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := s.Snapshot(quorum.LogOf(entries...)); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	snap := filepath.Join(dir, "snap")
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshots publish atomically, so any damage is real corruption,
+	// never a torn write: flip a payload byte.
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenStore(dir, StoreOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("damaged snapshot: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestOpenStoreRefusesForeignWAL(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal"), []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := OpenStore(dir, StoreOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign WAL: got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,264 @@
+// Package relaxd is the production face of the replicated object: real
+// replicas behind a wire protocol, each with a durable append-only site
+// log, and a client library that runs the paper's three-step quorum
+// protocol (assemble views from a read quorum, choose a response
+// consistent with the view, record the new entry at a write quorum)
+// against them at a chosen degradation-ladder rung.
+//
+// The package deliberately mirrors internal/cluster — the deterministic
+// in-memory cluster stays the model oracle (the differential tests
+// drive both through the same seeded workload and require byte-equal
+// logs, histories, and checker verdicts) — while adding the parts a
+// simulation cannot have: a length-prefixed binary protocol over
+// pluggable transports (a synchronous in-process transport for
+// deterministic tests, TCP for production), a per-site WAL with
+// per-record CRCs, fsync batching, snapshot + atomic tmp-then-rename
+// publish, and crash-restart recovery whose landing point the online
+// checker (internal/relaxcheck) certifies. DESIGN.md §15 documents the
+// transport/protocol/store boundaries and the recovery invariant.
+//
+// Like internal/conc, relaxd is a runtime layer: it does real I/O on
+// real clocks and is therefore exempt from the model-layer determinism
+// lint rules (lock and error discipline still apply in full).
+package relaxd
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+)
+
+// Wire limits. A frame body is one type byte plus the payload; the
+// decoder rejects any declared length beyond MaxFrame before
+// allocating, so a hostile header can never force an over-allocation.
+const (
+	// MaxFrame bounds a frame body (type byte + payload).
+	MaxFrame = 4 << 20
+	// maxOpLen bounds one serialized operation execution.
+	maxOpLen = 4096
+	// minEntryLen is the smallest possible serialized entry (three
+	// single-byte uvarints plus a one-byte op) — the denominator for
+	// capping entry-count allocations by the bytes actually present.
+	minEntryLen = 4
+)
+
+// Message types, one per frame kind.
+const (
+	// MsgGetLog asks a replica for its resident log (protocol step 1).
+	MsgGetLog byte = iota + 1
+	// MsgLog is the reply to MsgGetLog: the site's log entries.
+	MsgLog
+	// MsgAppend sends the client's updated view to a replica
+	// (protocol step 3); the replica makes the entries it is missing
+	// durable before acknowledging.
+	MsgAppend
+	// MsgAck is the reply to MsgAppend: how many entries were new.
+	MsgAck
+	// MsgErr is a protocol-level error reply.
+	MsgErr
+	// MsgPing / MsgPong are the liveness probe pair.
+	MsgPing
+	MsgPong
+)
+
+// ErrFrame is returned for any malformed frame or message payload. It
+// is the decoder's single typed refusal: a reader that sees it knows
+// the stream is unusable, never silently misparsed.
+var ErrFrame = errors.New("relaxd: malformed frame")
+
+// Message is one protocol message in decoded form.
+type Message struct {
+	Type byte
+	// Entries carries the log for MsgLog and the updated view for
+	// MsgAppend.
+	Entries []quorum.Entry
+	// N is the MsgAck payload: the number of entries newly appended.
+	N int
+	// Err is the MsgErr payload.
+	Err string
+}
+
+// AppendMessage encodes the message body (type byte + payload) onto b.
+func AppendMessage(b []byte, m Message) ([]byte, error) {
+	b = append(b, m.Type)
+	switch m.Type {
+	case MsgGetLog, MsgPing, MsgPong:
+		return b, nil
+	case MsgLog, MsgAppend:
+		b = binary.AppendUvarint(b, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			var err error
+			b, err = appendEntry(b, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return b, nil
+	case MsgAck:
+		if m.N < 0 {
+			return nil, fmt.Errorf("%w: negative ack count %d", ErrFrame, m.N)
+		}
+		return binary.AppendUvarint(b, uint64(m.N)), nil
+	case MsgErr:
+		b = binary.AppendUvarint(b, uint64(len(m.Err)))
+		return append(b, m.Err...), nil
+	}
+	return nil, fmt.Errorf("%w: unknown message type %d", ErrFrame, m.Type)
+}
+
+// DecodeMessage parses one frame body produced by AppendMessage. It
+// never panics on hostile input and never allocates beyond what the
+// actual payload bytes can justify.
+func DecodeMessage(body []byte) (Message, error) {
+	if len(body) == 0 {
+		return Message{}, fmt.Errorf("%w: empty body", ErrFrame)
+	}
+	m := Message{Type: body[0]}
+	p := body[1:]
+	switch m.Type {
+	case MsgGetLog, MsgPing, MsgPong:
+		if len(p) != 0 {
+			return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
+		}
+		return m, nil
+	case MsgLog, MsgAppend:
+		n, rest, err := readUvarint(p)
+		if err != nil {
+			return Message{}, err
+		}
+		// Each entry needs at least minEntryLen bytes, so the declared
+		// count is capped by the bytes that are actually present.
+		if n > uint64(len(rest)/minEntryLen) {
+			return Message{}, fmt.Errorf("%w: %d entries declared in %d bytes", ErrFrame, n, len(rest))
+		}
+		entries := make([]quorum.Entry, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var e quorum.Entry
+			e, rest, err = decodeEntry(rest)
+			if err != nil {
+				return Message{}, err
+			}
+			entries = append(entries, e)
+		}
+		if len(rest) != 0 {
+			return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(rest))
+		}
+		m.Entries = entries
+		return m, nil
+	case MsgAck:
+		n, rest, err := readUvarint(p)
+		if err != nil {
+			return Message{}, err
+		}
+		if len(rest) != 0 || n > uint64(MaxFrame) {
+			return Message{}, fmt.Errorf("%w: bad ack payload", ErrFrame)
+		}
+		m.N = int(n)
+		return m, nil
+	case MsgErr:
+		n, rest, err := readUvarint(p)
+		if err != nil {
+			return Message{}, err
+		}
+		if n != uint64(len(rest)) {
+			return Message{}, fmt.Errorf("%w: error length %d, %d bytes present", ErrFrame, n, len(rest))
+		}
+		m.Err = string(rest)
+		return m, nil
+	}
+	return Message{}, fmt.Errorf("%w: unknown message type %d", ErrFrame, m.Type)
+}
+
+// WriteFrame writes one length-prefixed frame: a 4-byte big-endian
+// body length followed by the body.
+func WriteFrame(w io.Writer, m Message) error {
+	body, err := AppendMessage(make([]byte, 4, 64), m)
+	if err != nil {
+		return err
+	}
+	n := len(body) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("%w: body %d exceeds MaxFrame", ErrFrame, n)
+	}
+	binary.BigEndian.PutUint32(body[:4], uint32(n))
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame and decodes its body. The declared length
+// is validated against MaxFrame before any allocation, so a hostile
+// header cannot force an over-allocation past the cap.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return Message{}, fmt.Errorf("%w: declared body length %d", ErrFrame, n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("%w: short body: %v", ErrFrame, err)
+	}
+	return DecodeMessage(body)
+}
+
+// appendEntry encodes one log entry: uvarint timestamp time and site,
+// then the length-prefixed text form of the operation execution
+// (history.Op.String — the same grammar history.ParseOp accepts, so
+// the wire reuses the fuzz-hardened parser on the way in).
+func appendEntry(b []byte, e quorum.Entry) ([]byte, error) {
+	if e.TS.Time < 0 || e.TS.Site < 0 {
+		return nil, fmt.Errorf("%w: negative timestamp %v", ErrFrame, e.TS)
+	}
+	op := e.Op.String()
+	if len(op) > maxOpLen {
+		return nil, fmt.Errorf("%w: %d-byte operation", ErrFrame, len(op))
+	}
+	b = binary.AppendUvarint(b, uint64(e.TS.Time))
+	b = binary.AppendUvarint(b, uint64(e.TS.Site))
+	b = binary.AppendUvarint(b, uint64(len(op)))
+	return append(b, op...), nil
+}
+
+// decodeEntry is the inverse of appendEntry.
+func decodeEntry(b []byte) (quorum.Entry, []byte, error) {
+	t, b, err := readUvarint(b)
+	if err != nil {
+		return quorum.Entry{}, nil, err
+	}
+	s, b, err := readUvarint(b)
+	if err != nil {
+		return quorum.Entry{}, nil, err
+	}
+	const maxInt = int(^uint(0) >> 1)
+	if t > uint64(maxInt) || s > uint64(maxInt) {
+		return quorum.Entry{}, nil, fmt.Errorf("%w: timestamp overflow", ErrFrame)
+	}
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return quorum.Entry{}, nil, err
+	}
+	if n == 0 || n > maxOpLen || n > uint64(len(b)) {
+		return quorum.Entry{}, nil, fmt.Errorf("%w: op length %d with %d bytes left", ErrFrame, n, len(b))
+	}
+	op, err := history.ParseOp(string(b[:n]))
+	if err != nil {
+		return quorum.Entry{}, nil, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	return quorum.Entry{TS: quorum.Timestamp{Time: int(t), Site: int(s)}, Op: op}, b[n:], nil
+}
+
+// readUvarint decodes one uvarint off the front of b.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated varint", ErrFrame)
+	}
+	return v, b[n:], nil
+}

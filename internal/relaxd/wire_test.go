@@ -1,0 +1,129 @@
+package relaxd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"relaxlattice/internal/history"
+	"relaxlattice/internal/quorum"
+)
+
+func ts(t, s int) quorum.Timestamp { return quorum.Timestamp{Time: t, Site: s} }
+
+func sampleEntries() []quorum.Entry {
+	return []quorum.Entry{
+		{TS: ts(1, 6), Op: history.Enq(3)},
+		{TS: ts(2, 7), Op: history.Enq(9)},
+		{TS: ts(3, 6), Op: history.DeqOk(9)},
+		{TS: ts(4, 8), Op: history.Credit(100)},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Type: MsgGetLog},
+		{Type: MsgPing},
+		{Type: MsgPong},
+		{Type: MsgLog, Entries: sampleEntries()},
+		{Type: MsgLog},
+		{Type: MsgAppend, Entries: sampleEntries()[:1]},
+		{Type: MsgAck, N: 42},
+		{Type: MsgErr, Err: "site on fire"},
+	}
+	for _, m := range msgs {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, m); err != nil {
+			t.Fatalf("WriteFrame(%+v): %v", m, err)
+		}
+		got, err := ReadFrame(&b)
+		if err != nil {
+			t.Fatalf("ReadFrame(%+v): %v", m, err)
+		}
+		if got.Type != m.Type || got.N != m.N || got.Err != m.Err || len(got.Entries) != len(m.Entries) {
+			t.Fatalf("round trip: sent %+v, got %+v", m, got)
+		}
+		for i := range m.Entries {
+			if got.Entries[i].TS != m.Entries[i].TS || !got.Entries[i].Op.Equal(m.Entries[i].Op) {
+				t.Fatalf("entry %d: sent %v, got %v", i, m.Entries[i], got.Entries[i])
+			}
+		}
+	}
+}
+
+func TestReadFrameRejectsHostileHeaders(t *testing.T) {
+	cases := map[string][]byte{
+		"zero length":    {0, 0, 0, 0},
+		"over MaxFrame":  {0xff, 0xff, 0xff, 0xff},
+		"short body":     {0, 0, 0, 9, MsgPing},
+		"empty input":    {},
+		"header only":    {0, 0},
+		"unknown type":   {0, 0, 0, 1, 0xee},
+		"trailing bytes": {0, 0, 0, 3, MsgPing, 1, 2},
+	}
+	for name, data := range cases {
+		if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadFrame accepted %x", name, data)
+		}
+	}
+}
+
+// TestReadFrameDoesNotOverAllocate pins the allocation cap: a header
+// declaring a body over MaxFrame is rejected before any body
+// allocation, and an entry count larger than the payload could hold
+// is rejected before the entries slice is sized from it.
+func TestReadFrameDoesNotOverAllocate(t *testing.T) {
+	huge := make([]byte, 4)
+	binary.BigEndian.PutUint32(huge, MaxFrame+1)
+	// An infinite reader after the header: if the length were trusted,
+	// ReadFrame would block allocating and reading MaxFrame+1 bytes.
+	r := io.MultiReader(bytes.NewReader(huge), neverEnding{})
+	if _, err := ReadFrame(r); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized declared length: got %v, want ErrFrame", err)
+	}
+
+	// A MsgLog body declaring 2^40 entries in a 3-byte payload.
+	body := []byte{MsgLog, 0x80, 0x80, 0x80, 0x80, 0x80, 0x20}
+	if _, err := DecodeMessage(body); !errors.Is(err, ErrFrame) {
+		t.Fatalf("hostile entry count: got %v, want ErrFrame", err)
+	}
+}
+
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0xaa
+	}
+	return len(p), nil
+}
+
+func TestDecodeMessageRejectsBadEntries(t *testing.T) {
+	// A structurally valid MsgLog whose op text does not parse.
+	b := []byte{MsgLog, 1 /* count */, 1 /* time */, 2 /* site */, 3, 'x', 'y', 'z'}
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrFrame) {
+		t.Fatalf("unparsable op: got %v, want ErrFrame", err)
+	}
+	// Op length pointing past the payload.
+	b = []byte{MsgLog, 1, 1, 2, 200, 'E'}
+	if _, err := DecodeMessage(b); !errors.Is(err, ErrFrame) {
+		t.Fatalf("op length past payload: got %v, want ErrFrame", err)
+	}
+}
+
+func TestAppendMessageRejectsUnencodable(t *testing.T) {
+	if _, err := AppendMessage(nil, Message{Type: MsgLog, Entries: []quorum.Entry{
+		{TS: ts(-1, 0), Op: history.Enq(1)},
+	}}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("negative timestamp: got %v, want ErrFrame", err)
+	}
+	long := history.Op{Name: strings.Repeat("x", maxOpLen), Term: history.Ok}
+	if _, err := AppendMessage(nil, Message{Type: MsgLog, Entries: []quorum.Entry{
+		{TS: ts(1, 1), Op: long},
+	}}); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized op: got %v, want ErrFrame", err)
+	}
+}
