@@ -45,10 +45,17 @@ import (
 
 // Result is one benchmark line.
 type Result struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	OpsPerSec  float64 `json:"ops_per_sec,omitempty"`
+	// AppendsPerSec is the durable-append throughput a WAL benchmark
+	// reports (b.ReportMetric(..., "appends/sec")) — the number the
+	// pipelined-vs-single-commit comparison is made on.
+	AppendsPerSec float64 `json:"appends_per_sec,omitempty"`
+	// RecoveryMs is the cold-recovery wall clock a restart benchmark
+	// reports (b.ReportMetric(..., "recovery-ms")).
+	RecoveryMs  float64 `json:"recovery_ms,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
@@ -376,6 +383,14 @@ func parseBench(line string) (Result, bool) {
 		case "ops/sec":
 			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
 				r.OpsPerSec = v
+			}
+		case "appends/sec":
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				r.AppendsPerSec = v
+			}
+		case "recovery-ms":
+			if v, err := strconv.ParseFloat(f[i], 64); err == nil {
+				r.RecoveryMs = v
 			}
 		}
 	}

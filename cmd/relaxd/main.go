@@ -18,6 +18,14 @@
 //	    deployment CI's kill -9 smoke uses, so one site can be killed
 //	    without taking the others down
 //
+//	relaxd -site 2 -listen 127.0.0.1:7412 -dir /var/lib/relaxd/site2 \
+//	       -join -peers 127.0.0.1:7410,127.0.0.1:7411,...
+//	    process-per-site with snapshot shipping: before serving, the
+//	    site fetches a peer's published snapshot + WAL suffix, refuses
+//	    it unless the combined history certifies at the claimed rung,
+//	    and installs it durably — how a wiped site rejoins without
+//	    replaying client traffic
+//
 // The server exits cleanly on SIGINT/SIGTERM (final fsync included);
 // anything harder is what the WAL is for.
 package main
@@ -60,13 +68,19 @@ func run(args []string, w io.Writer, ready chan<- []string, stop <-chan struct{}
 	dir := fs.String("dir", "", "store directory; empty serves ephemeral (non-durable) sites. -sites mode uses dir/site<i>")
 	snapshotEvery := fs.Int("snapshot-every", 0, "publish a snapshot and reset the WAL every N appended entries (0 disables)")
 	syncEvery := fs.Int("sync-every", 1, "fsync the WAL every N appends (1 = every append, the durable default)")
+	segmentRecords := fs.Int("segment-records", 0, "rotate to a new WAL segment every N records (0 = single segment); snapshots compact sealed segments")
+	join := fs.Bool("join", false, "before serving, rebuild state from a peer via snapshot shipping (-site mode; requires -peers)")
+	peers := fs.String("peers", "", "comma-separated site addresses in site order, for -join (this site's own slot may be a placeholder)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*sites > 0) == (*site >= 0) {
 		return fmt.Errorf("exactly one of -sites or -site is required")
 	}
-	opts := relaxd.StoreOptions{SyncEvery: *syncEvery}
+	if *join && (*site < 0 || *peers == "") {
+		return fmt.Errorf("-join requires -site and -peers")
+	}
+	opts := relaxd.StoreOptions{SyncEvery: *syncEvery, SegmentRecords: *segmentRecords}
 
 	var replicas []*relaxd.Replica
 	var indexes []int
@@ -78,6 +92,20 @@ func run(args []string, w io.Writer, ready chan<- []string, stop <-chan struct{}
 		replicas = []*relaxd.Replica{r}
 		indexes = []int{*site}
 		announceRecovery(w, *site, *dir, info)
+		if *join {
+			// Join strictly before listening: JoinFrom installs under the
+			// replica lock, and a site that is not yet reachable cannot
+			// race client appends against the install.
+			tr := relaxd.NewPooledTransport(strings.Split(*peers, ","), 0)
+			jinfo, err := r.JoinFrom(relaxd.JoinConfig{Transport: tr, Certify: relaxd.PQCertify()})
+			tr.Close()
+			if err != nil {
+				r.Close()
+				return fmt.Errorf("join: %w", err)
+			}
+			fmt.Fprintf(w, "relaxd: site %d joined from site %d (%d snapshot + %d wal entries, certified)\n",
+				*site, jinfo.Peer, jinfo.SnapshotEntries, jinfo.WALEntries)
+		}
 	} else {
 		for i := 0; i < *sites; i++ {
 			sub := ""
@@ -136,8 +164,9 @@ func announceRecovery(w io.Writer, site int, dir string, info relaxd.RecoveryInf
 		fmt.Fprintf(w, "relaxd: site %d ephemeral (no store)\n", site)
 		return
 	}
-	fmt.Fprintf(w, "relaxd: site %d recovered %d entries (%d snapshot + %d wal), repaired %d bytes\n",
-		site, info.SnapshotEntries+info.WALEntries, info.SnapshotEntries, info.WALEntries, info.RepairedBytes)
+	fmt.Fprintf(w, "relaxd: site %d recovered %d entries (%d snapshot + %d wal), repaired %d bytes, %d segment(s), compacted through %d\n",
+		site, info.SnapshotEntries+info.WALEntries, info.SnapshotEntries, info.WALEntries,
+		info.RepairedBytes, info.Segments, info.CompactedThrough)
 }
 
 // siteAddr derives site i's listen address from the base address: the

@@ -108,11 +108,59 @@ func TestServeSingleSite(t *testing.T) {
 	}
 }
 
+func TestJoinMode(t *testing.T) {
+	dir := t.TempDir()
+	addrs, _, shutdown := startServer(t,
+		[]string{"-sites", "3", "-listen", "127.0.0.1:0", "-dir", dir, "-snapshot-every", "4", "-segment-records", "3"})
+	tr := relaxd.NewTCPTransport(addrs, 0)
+	cl := relaxd.NewClient(relaxd.PQClientConfig(tr), 4)
+	for i := 0; i < 9; i++ {
+		inv := history.EnqInv(i%5 + 1)
+		if i%3 == 2 {
+			inv = history.DeqInv()
+		}
+		if _, err := cl.Execute(inv); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	tr.Close()
+
+	// A wiped replacement for site 2 joins from the live peers before it
+	// serves: fresh directory, -join, the running service's addresses.
+	joinAddrs, out, joinShutdown := startServer(t,
+		[]string{"-site", "2", "-listen", "127.0.0.1:0", "-dir", t.TempDir(),
+			"-join", "-peers", strings.Join(addrs, ",")})
+	if !strings.Contains(out.String(), "site 2 joined from site 0 (8 snapshot + 1 wal entries, certified)") {
+		t.Fatalf("no join announce line:\n%s", out.String())
+	}
+	jtr := relaxd.NewTCPTransport([]string{joinAddrs[0]}, 0)
+	defer jtr.Close()
+	resp, err := jtr.RoundTrip(0, relaxd.Message{Type: relaxd.MsgGetLog})
+	if err != nil || resp.Type != relaxd.MsgLog {
+		t.Fatalf("get log from joined site: %v (type %d)", err, resp.Type)
+	}
+	if len(resp.Entries) != 9 {
+		t.Fatalf("joined site serves %d entries, want 9", len(resp.Entries))
+	}
+	if err := joinShutdown(); err != nil {
+		t.Fatalf("joiner shutdown: %v", err)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
 func TestFlagValidation(t *testing.T) {
 	if err := run([]string{"-sites", "3", "-site", "1"}, &bytes.Buffer{}, nil, nil); err == nil {
 		t.Fatal("-sites with -site accepted")
 	}
 	if err := run(nil, &bytes.Buffer{}, nil, nil); err == nil {
 		t.Fatal("neither -sites nor -site accepted")
+	}
+	if err := run([]string{"-site", "1", "-join"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("-join without -peers accepted")
+	}
+	if err := run([]string{"-sites", "3", "-join", "-peers", "x:1"}, &bytes.Buffer{}, nil, nil); err == nil {
+		t.Fatal("-join in -sites mode accepted")
 	}
 }

@@ -18,6 +18,15 @@
 // the deterministic artifact — it names the structure, its claim, and
 // the certification outcome, never schedule-dependent counts.
 //
+// A fifth mode, longhaul, is the kill-9 soak battery: a real networked
+// relaxd service (TCP listeners, durable segmented WALs, pooled
+// multiplexed transport) under sustained client load while sites are
+// hard-killed continuously and periodically wiped — rejoining via
+// certified snapshot shipping — with the online checker auditing every
+// completed operation and the final merged log certified at the
+// strongest taxi rung. Unlike cluster/txn runs it is genuinely
+// nondeterministic; the verdict lines are the artifact.
+//
 // A fourth mode, audit, is the checkpointable audit sidecar: it replays
 // an exported observed history (-history, written by a cluster or txn
 // run) through the online checker alone, writing a resumable checkpoint
@@ -28,12 +37,13 @@
 //
 // Usage:
 //
-//	relaxsoak [-mode cluster|txn|both|conc|audit] [-workload uniform|bursty|skewed|fault-correlated|all]
+//	relaxsoak [-mode cluster|txn|both|conc|audit|longhaul] [-workload uniform|bursty|skewed|fault-correlated|all]
 //	          [-seed N] [-clients N] [-ops N] [-sites N] [-dequeuers N]
 //	          [-workers N] [-sample N] [-calm] [-metrics F] [-trace F]
 //	          [-spans F] [-flight F] [-history F]
 //	          [-lattice taxi|spool] [-checkpoint F] [-checkpoint-every N]
 //	          [-resume F] [-stop-at N] [-window N] [-frontier-cap N]
+//	          [-kill-every D] [-wipe-every N] [-dir P]
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"io"
 	"os"
 	"runtime/pprof"
+	"time"
 
 	"relaxlattice/internal/cluster"
 	"relaxlattice/internal/conc"
@@ -84,6 +95,9 @@ func run(args []string, w io.Writer) error {
 	stopAt := fs.Int("stop-at", 0, "audit mode: stop after N total operations (simulates a kill; 0 = run to the end)")
 	window := fs.Int("window", 0, "audit mode: keep only the most recent N sampled verdicts")
 	frontierCap := fs.Int("frontier-cap", 0, "audit mode: abandon lattice elements whose frontier exceeds N states (bounded memory; suppresses violations while any element is abandoned)")
+	killEvery := fs.Duration("kill-every", 100*time.Millisecond, "longhaul mode: dwell between hard kill cycles")
+	wipeEvery := fs.Int("wipe-every", 3, "longhaul mode: every Nth kill cycle wipes the victim's store (rejoin via snapshot shipping)")
+	dir := fs.String("dir", "", "longhaul mode: store root directory (empty = a temp dir, removed at exit)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +112,19 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	if *mode == "longhaul" {
+		return runLonghaul(w, longhaulConfig{
+			sites:       *sites,
+			clients:     *clients,
+			ops:         *ops,
+			seed:        *seed,
+			killEvery:   *killEvery,
+			wipeEvery:   *wipeEvery,
+			dir:         *dir,
+			historyPath: *historyPath,
+		})
 	}
 
 	if *mode == "audit" {

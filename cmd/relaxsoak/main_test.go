@@ -74,6 +74,38 @@ func TestAuditKillResumeMatchesUninterrupted(t *testing.T) {
 	}
 }
 
+// TestLonghaulMode runs a compressed kill-9 soak through the CLI
+// surface: real TCP sites, continuous hard kills, at least one
+// wipe-and-rejoin via snapshot shipping (wipe-every 1 makes every kill
+// a wipe), and the three certification verdicts. The full-length run is
+// CI's relaxd-longhaul job; this keeps the battery in tier-1.
+func TestLonghaulMode(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "longhaul-hist.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "longhaul", "-sites", "5", "-clients", "4",
+		"-ops", "200", "-seed", "23", "-kill-every", "40ms", "-wipe-every", "1",
+		"-history", hist}, &out); err != nil {
+		t.Fatalf("longhaul: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"longhaul live-checker",
+		"longhaul merged-log",
+		"longhaul sidecar-replay",
+		"verdict=certified",
+		"survived the kill-9 soak",
+	} {
+		if !bytes.Contains(out.Bytes(), []byte(want)) {
+			t.Fatalf("longhaul report missing %q:\n%s", want, out.String())
+		}
+	}
+	if bytes.Contains(out.Bytes(), []byte("wipes=0")) {
+		t.Fatalf("longhaul never exercised a wipe-and-rejoin:\n%s", out.String())
+	}
+	if b, err := os.ReadFile(hist); err != nil || len(b) == 0 {
+		t.Fatalf("longhaul history export missing (%v, %d bytes)", err, len(b))
+	}
+}
+
 // TestAuditRejectsMissingHistory pins the flag contract.
 func TestAuditRejectsMissingHistory(t *testing.T) {
 	var out bytes.Buffer

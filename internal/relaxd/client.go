@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 
 	"relaxlattice/internal/automaton"
 	"relaxlattice/internal/cluster"
@@ -143,17 +144,19 @@ func (c *Client) execute(inv history.Invocation, gate quorum.Assignment, label s
 	c.cfg.Metrics.Counter("relaxd.execute.attempt." + inv.Name).Add(1)
 
 	// Step 1: assemble views from every site that answers — any
-	// superset of an initial quorum is an initial quorum.
+	// superset of an initial quorum is an initial quorum. Over a
+	// concurrent transport the fetches fan out in parallel; the reply
+	// slice keeps site order either way, so the merged view (and
+	// everything downstream) is transport-independent.
 	s1 := span.Child("relaxd.step1.view")
 	logs := make([]quorum.Log, 0, n)
 	responding := make([]int, 0, n)
 	alive := make([]bool, n)
-	for site := 0; site < n; site++ {
-		resp, err := c.cfg.Transport.RoundTrip(site, Message{Type: MsgGetLog})
-		if err != nil || resp.Type != MsgLog {
+	for site, reply := range c.fanout(nil, func(int) Message { return Message{Type: MsgGetLog} }) {
+		if reply.skipped || reply.err != nil || reply.msg.Type != MsgLog {
 			continue
 		}
-		logs = append(logs, quorum.LogOf(resp.Entries...))
+		logs = append(logs, quorum.LogOf(reply.msg.Entries...))
 		responding = append(responding, site)
 		alive[site] = true
 	}
@@ -210,9 +213,10 @@ func (c *Client) execute(inv history.Invocation, gate quorum.Assignment, label s
 	updated := view.Append(entry).Entries()
 	acked := make([]bool, n)
 	nacked := 0
-	for _, site := range responding {
-		resp, err := c.cfg.Transport.RoundTrip(site, Message{Type: MsgAppend, Entries: updated})
-		if err != nil || resp.Type != MsgAck {
+	for site, reply := range c.fanout(responding, func(int) Message {
+		return Message{Type: MsgAppend, Entries: updated}
+	}) {
+		if reply.skipped || reply.err != nil || reply.msg.Type != MsgAck {
 			continue
 		}
 		acked[site] = true
@@ -237,6 +241,54 @@ func (c *Client) execute(inv history.Invocation, gate quorum.Assignment, label s
 	}
 	span.End(obs.KV{K: "outcome", V: "ok"})
 	return op, nil
+}
+
+// siteReply is one fanned-out round trip's outcome. skipped marks
+// sites the fanout was not asked to reach.
+type siteReply struct {
+	msg     Message
+	err     error
+	skipped bool
+}
+
+// fanout round-trips one request per listed site (nil means every
+// site) and returns the replies indexed by site. Over a transport
+// that advertises ConcurrentTransport the round trips run in
+// parallel — the pooled transport multiplexes them onto one
+// connection per site — while plain transports keep the sequential
+// site-order loop, which keeps the deterministic in-process path
+// byte-identical to the model oracle.
+func (c *Client) fanout(sites []int, mk func(site int) Message) []siteReply {
+	n := c.cfg.Transport.Sites()
+	out := make([]siteReply, n)
+	for i := range out {
+		out[i].skipped = true
+	}
+	if sites == nil {
+		sites = make([]int, n)
+		for i := range sites {
+			sites[i] = i
+		}
+	}
+	ct, ok := c.cfg.Transport.(ConcurrentTransport)
+	if !ok || !ct.Concurrent() {
+		for _, site := range sites {
+			m, err := c.cfg.Transport.RoundTrip(site, mk(site))
+			out[site] = siteReply{msg: m, err: err}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for _, site := range sites {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			m, err := c.cfg.Transport.RoundTrip(site, mk(site))
+			out[site] = siteReply{msg: m, err: err}
+		}(site)
+	}
+	wg.Wait()
+	return out
 }
 
 // evalView interprets a view through η.

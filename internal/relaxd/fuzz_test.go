@@ -108,6 +108,87 @@ func FuzzWALOpen(f *testing.F) {
 	})
 }
 
+// FuzzSegmentedWALOpen hardens multi-segment recovery: arbitrary byte
+// soups as a sealed segment and the active segment must never panic;
+// OpenStore either recovers (only CRC-valid records, repair confined to
+// the active segment, a second open clean and identical) or refuses
+// with ErrCorrupt — sealed segments get no tail repair, so damage there
+// is always a refusal, never a silent shortening.
+func FuzzSegmentedWALOpen(f *testing.F) {
+	// A clean two-segment store (2 records sealed, 1 active), then
+	// progressively hostile shapes on either side of the boundary.
+	seedDir := f.TempDir()
+	s, _, _, err := OpenStore(seedDir, StoreOptions{SegmentRecords: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, e := range serialPQEntries(3) {
+		if err := s.Append(e); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		f.Fatal(err)
+	}
+	sealed, err := os.ReadFile(filepath.Join(seedDir, segName(0)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	active, err := os.ReadFile(filepath.Join(seedDir, segName(1)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sealed, active)
+	f.Add(sealed, active[:len(active)-3]) // torn active tail: repairable
+	f.Add(sealed[:len(sealed)-3], active) // torn sealed tail: refusal
+	f.Add([]byte(walMagic), []byte(walMagic))
+	f.Add(sealed, []byte("not a wal at all"))
+	f.Add([]byte("not a wal at all"), active)
+	f.Add(append(append([]byte(nil), sealed...), 0, 0, 0, 0), active)
+
+	f.Fuzz(func(t *testing.T, seg0, seg1 []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), seg0, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, log, info, err := OpenStore(dir, StoreOptions{})
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("open failed without the typed refusal: %v", err)
+			}
+			return
+		}
+		// The sealed segment is never repaired: every repaired byte must
+		// come out of the active segment's image.
+		if info.RepairedBytes > len(seg1) {
+			t.Fatalf("repaired %d bytes, active segment only holds %d", info.RepairedBytes, len(seg1))
+		}
+		if log.Len() != info.WALEntries {
+			t.Fatalf("recovered log %d entries, info says %d", log.Len(), info.WALEntries)
+		}
+		if info.Segments != 2 {
+			t.Fatalf("opened %d segments, want 2", info.Segments)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close after recovery: %v", err)
+		}
+		s2, log2, info2, err := OpenStore(dir, StoreOptions{})
+		if err != nil {
+			t.Fatalf("second open after repair: %v", err)
+		}
+		defer s2.Close()
+		if info2.RepairedBytes != 0 {
+			t.Fatalf("second open repaired %d more bytes", info2.RepairedBytes)
+		}
+		if !log2.Equal(log) {
+			t.Fatalf("recovery not stable:\nfirst  %s\nsecond %s", log, log2)
+		}
+	})
+}
+
 // fuzzWALSeed builds a clean two-record WAL image.
 func fuzzWALSeed(f *testing.F) ([]byte, []quorum.Entry) {
 	f.Helper()

@@ -30,7 +30,11 @@ type ReplicaHooks struct {
 
 // Replica is one site: a resident log, its durable store, and the
 // message handler the transports dispatch into. All state is guarded
-// by mu; handlers are safe for concurrent connections.
+// by mu; handlers are safe for concurrent connections. Appends are
+// pipelined: the WAL write happens under mu, the fsync wait happens
+// after mu is released, so concurrent appends from different
+// connections share one group-commit fsync window while every ack
+// still waits for its own records to be durable.
 type Replica struct {
 	mu    sync.Mutex
 	site  int
@@ -41,8 +45,14 @@ type Replica struct {
 	down  bool         // guarded by mu
 	// appended counts WAL records since the last snapshot; guarded by mu.
 	appended int
-	// SnapshotEvery, when positive, publishes a snapshot (and resets
-	// the WAL) every SnapshotEvery appended entries. Set before serving.
+	// snapLen is how many of the resident log's entries the published
+	// snapshot covers (the split point MsgFetchState reports); guarded
+	// by mu. Merges can reorder entries, so it is a hint, not an exact
+	// prefix — joiners merge both parts anyway.
+	snapLen int
+	// SnapshotEvery, when positive, publishes a snapshot (compacting
+	// the sealed WAL segments) every SnapshotEvery appended entries.
+	// Set before serving.
 	SnapshotEvery int
 	// Hooks are test-only crash points. Set before serving.
 	Hooks ReplicaHooks
@@ -62,6 +72,7 @@ func OpenReplica(site int, dir string, opts StoreOptions) (*Replica, RecoveryInf
 	}
 	r.store = store
 	r.log = log
+	r.snapLen = info.SnapshotEntries
 	return r, info, nil
 }
 
@@ -77,18 +88,12 @@ func (r *Replica) Log() quorum.Log {
 
 // Crash simulates a hard kill: the replica stops answering, its
 // in-memory state is dropped, and its store is closed without any
-// final flush beyond what Append already made durable.
+// final flush beyond what already reached the kernel. Requests
+// parked in WaitDurable fail over to an error and are never acked.
 func (r *Replica) Crash() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.down = true
-	r.log = quorum.Log{}
-	if r.store != nil {
-		// A real crash would not even close(2); closing the descriptor
-		// loses nothing that Append had not already written.
-		r.store.wal.Close()
-		r.store = nil
-	}
+	r.crashLocked()
 }
 
 // Restart recovers a crashed replica from its durable store — the
@@ -113,6 +118,7 @@ func (r *Replica) Restart() (RecoveryInfo, error) {
 	r.log = log
 	r.down = false
 	r.appended = 0
+	r.snapLen = info.SnapshotEntries
 	return info, nil
 }
 
@@ -133,6 +139,9 @@ func (r *Replica) Close() error {
 // non-nil error is a transport-level failure — the site gives no
 // answer at all (down, or a test hook simulating a crash mid-request).
 func (r *Replica) Handle(req Message) (Message, error) {
+	if req.Type == MsgAppend {
+		return r.applyAppend(req.Entries)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.down {
@@ -143,18 +152,35 @@ func (r *Replica) Handle(req Message) (Message, error) {
 		return Message{Type: MsgPong}, nil
 	case MsgGetLog:
 		return Message{Type: MsgLog, Entries: r.log.Entries()}, nil
-	case MsgAppend:
-		return r.applyAppend(req.Entries)
+	case MsgFetchState:
+		// Snapshot shipping: the resident log split at the published-
+		// snapshot boundary, so a joiner can account for what came from
+		// the snapshot vs the WAL suffix. Entries() is immutable-shared,
+		// so both slices alias one copy.
+		k := r.snapLen
+		if k > r.log.Len() {
+			k = r.log.Len()
+		}
+		all := r.log.Entries()
+		return Message{Type: MsgState, Entries: all[:k], Wal: all[k:]}, nil
 	}
 	return Message{Type: MsgErr, Err: fmt.Sprintf("unexpected message type %d", req.Type)}, nil
 }
 
 // applyAppend merges a received view into the resident log, making
-// every entry the site is missing durable before acknowledging.
-// Caller holds mu.
-//
-//lint:ignore lock-guard caller holds mu (Handle acquires it)
+// every entry the site is missing durable before acknowledging. The
+// WAL write and log merge happen under mu; the durability wait
+// happens after mu is released, so concurrent appends pipeline into
+// shared fsync windows. Merging before the fsync is safe: a later
+// request that finds its entries already resident waits on a commit
+// sequence at least as high as the write that added them, so no ack
+// ever precedes its records' durability.
 func (r *Replica) applyAppend(view []quorum.Entry) (Message, error) {
+	r.mu.Lock()
+	if r.down {
+		r.mu.Unlock()
+		return Message{}, fmt.Errorf("%w: site %d", ErrDown, r.site)
+	}
 	var missing []quorum.Entry
 	for _, e := range view {
 		if !r.log.Contains(e.TS) {
@@ -165,33 +191,52 @@ func (r *Replica) applyAppend(view []quorum.Entry) (Message, error) {
 		if r.Hooks.BeforeAppend != nil {
 			if err := r.Hooks.BeforeAppend(r.site, e); err != nil {
 				r.crashLocked()
+				r.mu.Unlock()
 				return Message{}, err
 			}
 		}
-		if r.store != nil {
-			if err := r.store.Append(e); err != nil {
-				return Message{Type: MsgErr, Err: err.Error()}, nil
-			}
+	}
+	st := r.store
+	var target int64
+	synced := false
+	if st != nil {
+		var err error
+		target, err = st.AppendBatch(missing)
+		if err != nil {
+			r.mu.Unlock()
+			return Message{Type: MsgErr, Err: err.Error()}, nil
 		}
 	}
-	if r.store != nil {
-		if err := r.store.Sync(); err != nil {
+	r.log = quorum.Merge(r.log, quorum.LogOf(missing...))
+	r.appended += len(missing)
+	if st != nil && r.SnapshotEvery > 0 && r.appended >= r.SnapshotEvery {
+		if err := st.Snapshot(r.log); err != nil {
+			r.mu.Unlock()
+			return Message{Type: MsgErr, Err: err.Error()}, nil
+		}
+		r.snapLen = r.log.Len()
+		r.appended = 0
+		synced = true // Snapshot syncs everything through target
+	}
+	r.mu.Unlock()
+
+	if st != nil && !synced {
+		if err := st.WaitDurable(target); err != nil {
+			r.mu.Lock()
+			down := r.down
+			r.mu.Unlock()
+			if down {
+				// Crashed while waiting: vanish like a dead site.
+				return Message{}, fmt.Errorf("%w: site %d", ErrDown, r.site)
+			}
 			return Message{Type: MsgErr, Err: err.Error()}, nil
 		}
 	}
 	if r.Hooks.BeforeAck != nil {
 		if err := r.Hooks.BeforeAck(r.site); err != nil {
-			r.crashLocked()
+			r.Crash()
 			return Message{}, err
 		}
-	}
-	r.log = quorum.Merge(r.log, quorum.LogOf(missing...))
-	r.appended += len(missing)
-	if r.store != nil && r.SnapshotEvery > 0 && r.appended >= r.SnapshotEvery {
-		if err := r.store.Snapshot(r.log); err != nil {
-			return Message{Type: MsgErr, Err: err.Error()}, nil
-		}
-		r.appended = 0
 	}
 	return Message{Type: MsgAck, N: len(missing)}, nil
 }
@@ -202,7 +247,12 @@ func (r *Replica) applyAppend(view []quorum.Entry) (Message, error) {
 func (r *Replica) crashLocked() {
 	r.down = true
 	r.log = quorum.Log{}
+	r.appended = 0
+	r.snapLen = 0
 	if r.store != nil {
+		// A real crash would not even close(2); closing the descriptor
+		// loses nothing that the kernel already had, and it unparks
+		// every WaitDurable caller with an error.
 		r.store.wal.Close()
 		r.store = nil
 	}

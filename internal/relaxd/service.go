@@ -6,7 +6,10 @@ import (
 	"path/filepath"
 
 	"relaxlattice/internal/cluster"
+	"relaxlattice/internal/core"
+	"relaxlattice/internal/history"
 	"relaxlattice/internal/quorum"
+	"relaxlattice/internal/relaxcheck"
 	"relaxlattice/internal/specs"
 )
 
@@ -21,6 +24,21 @@ func PQClientConfig(t Transport) ClientConfig {
 		Base:      specs.PriorityQueue(),
 		Fold:      quorum.PQFold(),
 		Respond:   cluster.PQResponder,
+	}
+}
+
+// PQCertify returns the certification gate the taxi service uses for
+// snapshot shipping: shipped state must replay clean at the strongest
+// rung of the taxi lattice before the joiner serves. A violation is
+// reported as wrapping ErrCorrupt — shipped state that does not
+// certify is refused exactly like a damaged store.
+func PQCertify() func(history.History) error {
+	lat := core.TaxiSimpleLattice()
+	return func(h history.History) error {
+		if v := relaxcheck.Certify(lat, nil, "Q1Q2", h); v != nil {
+			return fmt.Errorf("%w: %s", ErrCorrupt, v.Error())
+		}
+		return nil
 	}
 }
 
@@ -78,4 +96,12 @@ func (s *SiteServer) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// Kill hard-stops the server: the listener closes and the replica
+// crashes with no final flush — SIGKILL semantics for crash harnesses.
+// Only what the WAL already made durable survives a later Restart.
+func (s *SiteServer) Kill() {
+	s.lis.Close()
+	s.Replica.Crash()
 }

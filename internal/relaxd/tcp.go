@@ -2,7 +2,9 @@ package relaxd
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -98,9 +100,11 @@ func (t *TCPTransport) Close() error {
 
 // Serve accepts connections on l and answers framed requests against
 // r until l is closed (which makes Accept return and Serve exit) —
-// goroutine-per-connection, one length-prefixed exchange at a time
-// per connection. A replica that is down answers nothing: the
-// connection is closed, which the client reads as unreachability.
+// goroutine-per-connection. A connection that opens with the mux
+// preamble carries concurrent correlated exchanges (serveMux); anything
+// else gets the legacy one-exchange-at-a-time loop. A replica that is
+// down answers nothing: the connection is closed, which the client
+// reads as unreachability.
 func Serve(l net.Listener, r *Replica) error {
 	for {
 		conn, err := l.Accept()
@@ -111,10 +115,29 @@ func Serve(l net.Listener, r *Replica) error {
 	}
 }
 
-// serveConn runs the request loop for one connection.
+// maxInFlight bounds the handler goroutines one mux connection may
+// have running at once; further frames wait in the read loop.
+const maxInFlight = 64
+
+// serveConn sniffs the framing and runs the matching request loop.
+// The first four bytes decide: muxMagic starts with 'r', while a
+// legacy frame starts with a 4-byte length ≤ MaxFrame whose first
+// byte is always zero.
 func serveConn(conn net.Conn, r *Replica) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
+	head, err := br.Peek(4)
+	if err != nil {
+		return
+	}
+	if string(head) == muxMagic[:4] {
+		magic := make([]byte, len(muxMagic))
+		if _, err := io.ReadFull(br, magic); err != nil || string(magic) != muxMagic {
+			return
+		}
+		serveMux(conn, br, r)
+		return
+	}
 	for {
 		req, err := ReadFrame(br)
 		if err != nil {
@@ -128,4 +151,266 @@ func serveConn(conn net.Conn, r *Replica) {
 			return
 		}
 	}
+}
+
+// serveMux runs the multiplexed request loop: frames are read in
+// order, handled concurrently (bounded by maxInFlight), and replies
+// are written back under a write lock in completion order — the
+// correlation ids let the client pair them up. The pipelined-append
+// path depends on this concurrency: many in-flight MsgAppends on one
+// connection ride a shared group-commit fsync window instead of
+// serializing round trips.
+func serveMux(conn net.Conn, br *bufio.Reader, r *Replica) {
+	var (
+		wmu  sync.Mutex
+		wg   sync.WaitGroup
+		slot = make(chan struct{}, maxInFlight)
+	)
+	defer wg.Wait()
+	for {
+		id, req, err := ReadMuxFrame(br)
+		if err != nil {
+			return
+		}
+		slot <- struct{}{}
+		wg.Add(1)
+		go func(id uint64, req Message) {
+			defer wg.Done()
+			defer func() { <-slot }()
+			resp, err := r.Handle(req)
+			if err != nil {
+				conn.Close() // down / crash hook: vanish like a dead site
+				return
+			}
+			wmu.Lock()
+			err = WriteMuxFrame(conn, id, resp)
+			wmu.Unlock()
+			if err != nil {
+				conn.Close()
+			}
+		}(id, req)
+	}
+}
+
+// PooledTransport reaches each site over one multiplexed connection
+// carrying every in-flight request for that site, replacing
+// round-trip-per-message: RoundTrip is safe to call concurrently, and
+// concurrent calls to the same site share the connection instead of
+// queueing behind each other. Any I/O error or timeout fails the
+// connection (every in-flight request errors), reports the site
+// unreachable for those calls, and redials lazily — kill-9 semantics,
+// exactly like TCPTransport.
+type PooledTransport struct {
+	addrs   []string
+	timeout time.Duration
+	sites   []pooledSite
+}
+
+type pooledSite struct {
+	mu   sync.Mutex
+	conn *muxConn // nil redials lazily
+}
+
+// NewPooledTransport builds a pooled transport over one address per
+// site. timeout bounds each dial and each request/reply exchange; 0
+// means 5 seconds.
+func NewPooledTransport(addrs []string, timeout time.Duration) *PooledTransport {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &PooledTransport{
+		addrs:   append([]string(nil), addrs...),
+		timeout: timeout,
+		sites:   make([]pooledSite, len(addrs)),
+	}
+}
+
+// Sites returns the number of configured sites.
+func (t *PooledTransport) Sites() int { return len(t.addrs) }
+
+// Concurrent marks the transport safe for concurrent RoundTrips; the
+// client fans protocol steps out in parallel over it.
+func (t *PooledTransport) Concurrent() bool { return true }
+
+// RoundTrip performs one correlated exchange with site over the
+// pooled connection.
+func (t *PooledTransport) RoundTrip(site int, req Message) (Message, error) {
+	if site < 0 || site >= len(t.addrs) {
+		return Message{}, fmt.Errorf("relaxd: site %d out of range", site)
+	}
+	mc, err := t.conn(site)
+	if err != nil {
+		return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+	}
+	resp, err := mc.roundTrip(req, t.timeout)
+	if err != nil {
+		t.drop(site, mc)
+		return Message{}, fmt.Errorf("%w: site %d: %v", ErrDown, site, err)
+	}
+	return resp, nil
+}
+
+// conn returns the site's live pooled connection, dialing one if
+// needed. Dials serialize per site; other sites are unaffected.
+func (t *PooledTransport) conn(site int) (*muxConn, error) {
+	ps := &t.sites[site]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.conn != nil && !ps.conn.failed() {
+		return ps.conn, nil
+	}
+	ps.conn = nil
+	c, err := net.DialTimeout("tcp", t.addrs[site], t.timeout)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := newMuxConn(c)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	ps.conn = mc
+	return mc, nil
+}
+
+// drop forgets a failed connection so the next call redials.
+func (t *PooledTransport) drop(site int, mc *muxConn) {
+	ps := &t.sites[site]
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.conn == mc {
+		ps.conn = nil
+	}
+}
+
+// Close fails every pooled connection.
+func (t *PooledTransport) Close() error {
+	for i := range t.sites {
+		ps := &t.sites[i]
+		ps.mu.Lock()
+		if ps.conn != nil {
+			ps.conn.fail(errors.New("relaxd: transport closed"))
+			ps.conn = nil
+		}
+		ps.mu.Unlock()
+	}
+	return nil
+}
+
+// muxConn is one multiplexed connection: a writer side issuing
+// correlation ids and a reader goroutine pairing replies back to the
+// in-flight requests.
+type muxConn struct {
+	c   net.Conn
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Message // in-flight requests, by id
+	err     error                   // sticky: set once the conn is dead
+}
+
+// newMuxConn writes the preamble and starts the reader.
+func newMuxConn(c net.Conn) (*muxConn, error) {
+	if _, err := c.Write([]byte(muxMagic)); err != nil {
+		return nil, err
+	}
+	mc := &muxConn{c: c, pending: make(map[uint64]chan Message)}
+	go mc.readLoop()
+	return mc, nil
+}
+
+// readLoop dispatches replies to their waiting requests until the
+// connection dies, then fails every in-flight request.
+func (mc *muxConn) readLoop() {
+	br := bufio.NewReader(mc.c)
+	for {
+		id, m, err := ReadMuxFrame(br)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		mc.mu.Lock()
+		ch := mc.pending[id]
+		delete(mc.pending, id)
+		mc.mu.Unlock()
+		if ch != nil {
+			ch <- m // buffered; never blocks
+		}
+	}
+}
+
+// fail marks the connection dead and wakes every in-flight request
+// with a closed channel.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err == nil {
+		mc.err = err
+	}
+	pend := mc.pending
+	mc.pending = make(map[uint64]chan Message)
+	mc.mu.Unlock()
+	mc.c.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// failed reports whether the connection is dead.
+func (mc *muxConn) failed() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err != nil
+}
+
+// roundTrip issues one correlated exchange. A timeout fails the whole
+// connection: an unresponsive site is indistinguishable from a dead
+// one, and the stream's remaining replies can no longer be trusted to
+// arrive.
+func (mc *muxConn) roundTrip(req Message, timeout time.Duration) (Message, error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		err := mc.err
+		mc.mu.Unlock()
+		return Message{}, err
+	}
+	id := mc.nextID
+	mc.nextID++
+	ch := make(chan Message, 1)
+	mc.pending[id] = ch
+	mc.mu.Unlock()
+
+	mc.wmu.Lock()
+	mc.c.SetWriteDeadline(time.Now().Add(timeout))
+	err := WriteMuxFrame(mc.c, id, req)
+	mc.wmu.Unlock()
+	if err != nil {
+		mc.forget(id)
+		mc.fail(err)
+		return Message{}, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			mc.mu.Lock()
+			err := mc.err
+			mc.mu.Unlock()
+			return Message{}, err
+		}
+		return m, nil
+	case <-timer.C:
+		mc.forget(id)
+		mc.fail(errors.New("relaxd: request timed out"))
+		return Message{}, errors.New("relaxd: request timed out")
+	}
+}
+
+// forget withdraws an in-flight request (its reply, if it ever comes,
+// is dropped by the read loop).
+func (mc *muxConn) forget(id uint64) {
+	mc.mu.Lock()
+	delete(mc.pending, id)
+	mc.mu.Unlock()
 }

@@ -18,6 +18,15 @@ type Transport interface {
 	RoundTrip(site int, req Message) (Message, error)
 }
 
+// ConcurrentTransport marks a transport whose RoundTrip is safe to
+// call concurrently (PooledTransport). The client fans protocol steps
+// out in parallel over such transports and stays sequential — and
+// deterministic — over the rest (Local, TCPTransport).
+type ConcurrentTransport interface {
+	Transport
+	Concurrent() bool
+}
+
 // Local is the in-process transport over a fixed set of replicas:
 // every call is a synchronous handler dispatch, with the request and
 // reply both pushed through the real wire codec so the deterministic

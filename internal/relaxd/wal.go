@@ -8,46 +8,70 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
 	"relaxlattice/internal/quorum"
 )
 
 // Store file layout (DESIGN.md §15 has the byte diagram):
 //
-//	wal:  [8-byte magic "rlxwal1\n"] record*
-//	snap: [8-byte magic "rlxsnp1\n"] [4-byte BE count] record*
+//	wal-NNNNNN: [8-byte magic "rlxwal1\n"] record*
+//	snap:       [8-byte magic "rlxsnp1\n"] [4-byte BE count] record*
 //
 //	record: [4-byte BE payload len][4-byte BE CRC32-IEEE(payload)][payload]
 //	payload: one log entry (appendEntry encoding), 1..maxRecord bytes
 //
-// The WAL is append-only; the snapshot is written to snap.tmp, fsynced,
-// and atomically renamed over snap (then the directory is fsynced), so
-// a reader never observes a half-published snapshot. Every payload
-// carries its own CRC; a zero-length record is invalid by construction,
-// which keeps a zero-filled tail (CRC32("")==0) from decoding as a
-// valid empty record.
+// The WAL is a sequence of append-only segments named wal-000000,
+// wal-000001, … with contiguous indexes. Exactly one — the highest —
+// is active; rotation fsyncs the active segment, creates the next
+// (magic written and fsynced, directory fsynced), and seals the old
+// one, so every non-final segment is fully durable by construction.
+// Compaction (Snapshot) publishes the snapshot, rotates, and deletes
+// the sealed segments oldest-first, so a crash at any point leaves a
+// contiguous segment suffix whose merge with the published snapshot is
+// the same log.
+//
+// The snapshot is written to snap.tmp, fsynced, and atomically renamed
+// over snap (then the directory is fsynced), so a reader never observes
+// a half-published snapshot. Every payload carries its own CRC; a
+// zero-length record is invalid by construction, which keeps a
+// zero-filled tail (CRC32("")==0) from decoding as a valid empty
+// record.
+//
+// Stores created before segmentation used a single file named "wal";
+// OpenStore migrates it by renaming it to wal-000000.
 const (
 	walMagic  = "rlxwal1\n"
 	snapMagic = "rlxsnp1\n"
 	headerLen = 8
 	recHdrLen = 8
 	maxRecord = MaxFrame
+
+	segPrefix = "wal-"
+	segDigits = 6
 )
 
 // ErrCorrupt is the store's typed refusal: the on-disk state is
 // damaged in a way that truncated-tail repair cannot explain (a bad
-// record with intact data after it, a mangled snapshot, a foreign
-// header). Open never silently drops interior data — it either
-// recovers a prefix that a torn final write explains, or returns an
-// error wrapping ErrCorrupt.
+// record with intact data after it, damage inside a sealed segment, a
+// mangled snapshot, a foreign header). Open never silently drops
+// interior data — it either recovers a prefix that a torn final write
+// explains, or returns an error wrapping ErrCorrupt.
 var ErrCorrupt = errors.New("relaxd: corrupt store")
 
-// StoreOptions tunes durability.
+// StoreOptions tunes durability and segment geometry.
 type StoreOptions struct {
 	// SyncEvery batches fsyncs: the WAL is fsynced after every
 	// SyncEvery appended records (and on Sync/Snapshot/Close). 0 or 1
 	// syncs every append — the durable default.
 	SyncEvery int
+	// SegmentRecords, when positive, rotates the active WAL segment
+	// after it holds that many records. 0 keeps a single unbounded
+	// segment (compaction still rotates on every snapshot).
+	SegmentRecords int
 }
 
 // RecoveryInfo reports what OpenStore found.
@@ -55,99 +79,256 @@ type RecoveryInfo struct {
 	// SnapshotEntries is the number of entries loaded from the
 	// published snapshot (0 when none exists).
 	SnapshotEntries int
-	// WALEntries is the number of entries replayed from the WAL.
+	// WALEntries is the number of entries replayed from the WAL
+	// segments.
 	WALEntries int
-	// RepairedBytes is how many trailing bytes of the WAL were
-	// discarded as a torn final write (0 on a clean open).
+	// RepairedBytes is how many trailing bytes of the active segment
+	// were discarded as a torn final write (0 on a clean open).
 	RepairedBytes int
+	// Segments is how many WAL segments the store found.
+	Segments int
+	// CompactedThrough is the index of the oldest segment present —
+	// every lower-indexed segment has been compacted into the
+	// published snapshot.
+	CompactedThrough int
 }
 
-// Store is one site's durable log: a write-ahead log of entries plus a
-// periodically published snapshot. It is not safe for concurrent use;
-// the owning Replica serializes access behind its own mutex.
+// Store is one site's durable log: segmented write-ahead log plus a
+// periodically published snapshot. Writes (Append, AppendBatch,
+// Snapshot, Close) are single-writer — the owning Replica serializes
+// them behind its own mutex — but WaitDurable and Sync are safe to
+// call concurrently with each other and with the writer: concurrent
+// waiters share fsyncs (group commit), which is what lets pipelined
+// appends from many connections ride one fsync window.
 type Store struct {
-	dir     string
-	wal     *os.File
-	walSize int64
-	pending int
-	opts    StoreOptions
-	buf     []byte // scratch for record encoding
+	dir  string
+	opts StoreOptions
+	buf  []byte // scratch for record encoding (writer-only)
+
+	// Writer state, guarded by the owner's serialization (the Replica
+	// mutex), not by a Store lock.
+	wal        *os.File // active segment
+	walSize    int64
+	segIndex   int // index of the active segment
+	segRecords int // records in the active segment
+	firstSeg   int // oldest segment on disk (compaction floor)
+	pending    int // appends since the last Sync (SyncEvery batching)
+
+	// Commit state, shared between the writer and concurrent
+	// WaitDurable callers. Guarded by cmu.
+	cmu      sync.Mutex
+	ccond    *sync.Cond
+	syncFile *os.File // active segment, as the fsyncing side sees it
+	seq      int64    // records written (commit sequence numbers 1..seq)
+	durable  int64    // highest commit sequence known fsynced
+	syncing  bool     // an fsync is in flight
+	syncErr  error    // sticky: first fsync failure poisons the store
+}
+
+// segName formats a segment file name.
+func segName(i int) string {
+	return fmt.Sprintf("%s%0*d", segPrefix, segDigits, i)
+}
+
+// parseSegName extracts a segment index, or ok=false for other files.
+func parseSegName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) {
+		return 0, false
+	}
+	d := name[len(segPrefix):]
+	if len(d) < segDigits {
+		return 0, false
+	}
+	n, err := strconv.Atoi(d)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the sorted segment indexes present in dir.
+func listSegments(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, de := range ents {
+		if i, ok := parseSegName(de.Name()); ok {
+			segs = append(segs, i)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
 }
 
 // OpenStore opens (creating if absent) the site store in dir and
 // recovers its log: the published snapshot, if any, merged with every
-// WAL record that passes validation. A torn final write — truncated
-// record, zero-filled tail, or a corrupt last record — is repaired by
-// truncating the WAL back to its last valid record. Anything else
-// (a bad record with valid data after it, a damaged snapshot) refuses
-// with an error wrapping ErrCorrupt.
+// record of every WAL segment that passes validation. Only the active
+// (highest-indexed) segment may carry a torn final write — truncated
+// record, zero-filled tail, or a corrupt last record — which is
+// repaired by truncating back to its last valid record. Rotation seals
+// segments fully fsynced, so damage in a sealed segment, a gap in the
+// segment index sequence, or a damaged snapshot refuses with an error
+// wrapping ErrCorrupt.
 func OpenStore(dir string, opts StoreOptions) (*Store, quorum.Log, RecoveryInfo, error) {
 	var info RecoveryInfo
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fail := func(err error) (*Store, quorum.Log, RecoveryInfo, error) {
 		return nil, quorum.Log{}, info, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
 	}
 	// A leftover snap.tmp is a snapshot that never published; the
 	// WAL+old snapshot still hold everything it held.
 	if err := os.Remove(filepath.Join(dir, "snap.tmp")); err != nil && !os.IsNotExist(err) {
-		return nil, quorum.Log{}, info, err
+		return fail(err)
 	}
 
 	snapLog, snapN, err := readSnapshot(filepath.Join(dir, "snap"))
 	if err != nil {
-		return nil, quorum.Log{}, info, err
+		return fail(err)
 	}
 	info.SnapshotEntries = snapN
 
-	walPath := filepath.Join(dir, "wal")
-	data, err := os.ReadFile(walPath)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, quorum.Log{}, info, err
-	}
-	entries, goodLen, err := recoverWAL(data)
+	segs, err := listSegments(dir)
 	if err != nil {
-		return nil, quorum.Log{}, info, fmt.Errorf("%s: %w", walPath, err)
+		return fail(err)
+	}
+	// Pre-segmentation stores kept a single file named "wal"; adopt it
+	// as segment 0. A legacy file next to segment files is two
+	// interleaved layouts — no write path produces that.
+	legacy := filepath.Join(dir, "wal")
+	if _, lerr := os.Stat(legacy); lerr == nil {
+		if len(segs) > 0 {
+			return fail(fmt.Errorf("%s: %w: legacy wal alongside %d segment(s)", legacy, ErrCorrupt, len(segs)))
+		}
+		if err := os.Rename(legacy, filepath.Join(dir, segName(0))); err != nil {
+			return fail(err)
+		}
+		if err := syncDir(dir); err != nil {
+			return fail(err)
+		}
+		segs = []int{0}
+	} else if !os.IsNotExist(lerr) {
+		return fail(lerr)
+	}
+	if len(segs) == 0 {
+		segs = []int{0}
+		f, err := createSegment(dir, 0)
+		if err != nil {
+			return fail(err)
+		}
+		f.Close()
+	}
+	for i := 1; i < len(segs); i++ {
+		if segs[i] != segs[i-1]+1 {
+			return fail(fmt.Errorf("%w: WAL segment gap: %s then %s",
+				ErrCorrupt, segName(segs[i-1]), segName(segs[i])))
+		}
+	}
+	info.Segments = len(segs)
+	info.CompactedThrough = segs[0]
+
+	var entries []quorum.Entry
+	var lastGood, lastLen, lastRecords int
+	for k, idx := range segs {
+		path := filepath.Join(dir, segName(idx))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		segEntries, goodLen, rerr := recoverWAL(data)
+		if rerr != nil {
+			return fail(fmt.Errorf("%s: %w", path, rerr))
+		}
+		if k < len(segs)-1 {
+			// Sealed segment: rotation fsyncs it fully before the next
+			// segment exists, so any torn tail here is real damage.
+			if goodLen != len(data) || goodLen < headerLen {
+				return fail(fmt.Errorf("%s: %w: torn tail in sealed segment (%d of %d bytes valid)",
+					path, ErrCorrupt, goodLen, len(data)))
+			}
+		} else {
+			lastGood = goodLen
+			lastLen = len(data)
+			lastRecords = len(segEntries)
+		}
+		entries = append(entries, segEntries...)
 	}
 	info.WALEntries = len(entries)
-	info.RepairedBytes = len(data) - goodLen
+	info.RepairedBytes = lastLen - lastGood
 
-	f, err := os.OpenFile(walPath, os.O_RDWR|os.O_CREATE, 0o644)
+	active := filepath.Join(dir, segName(segs[len(segs)-1]))
+	f, err := os.OpenFile(active, os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, quorum.Log{}, info, err
+		return fail(err)
 	}
-	s := &Store{dir: dir, wal: f, opts: opts}
-	if goodLen < headerLen {
-		// Fresh or torn-at-creation WAL: (re)write the header.
+	s := &Store{
+		dir:        dir,
+		opts:       opts,
+		wal:        f,
+		segIndex:   segs[len(segs)-1],
+		segRecords: lastRecords,
+		firstSeg:   segs[0],
+		syncFile:   f,
+	}
+	s.ccond = sync.NewCond(&s.cmu)
+	if lastGood < headerLen {
+		// Fresh or torn-at-creation segment: (re)write the header.
 		if err := s.resetWAL(); err != nil {
 			f.Close()
-			return nil, quorum.Log{}, info, err
+			return fail(err)
 		}
-	} else if goodLen < len(data) {
+	} else if lastGood < lastLen {
 		// Torn final write: discard the tail.
-		if err := f.Truncate(int64(goodLen)); err != nil {
+		if err := f.Truncate(int64(lastGood)); err != nil {
 			f.Close()
-			return nil, quorum.Log{}, info, err
+			return fail(err)
 		}
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return nil, quorum.Log{}, info, err
+			return fail(err)
 		}
-		s.walSize = int64(goodLen)
+		s.walSize = int64(lastGood)
 	} else {
-		s.walSize = int64(goodLen)
+		s.walSize = int64(lastGood)
 	}
 	if _, err := f.Seek(s.walSize, 0); err != nil {
 		f.Close()
-		return nil, quorum.Log{}, info, err
+		return fail(err)
 	}
 	return s, quorum.Merge(snapLog, quorum.LogOf(entries...)), info, nil
 }
 
-// recoverWAL validates a raw WAL image (header + records). It returns
-// the decoded entries of every valid record and the byte length of the
-// valid prefix. goodLen < len(data) means a torn tail was identified
-// and should be truncated; goodLen < headerLen means the header itself
-// must be rewritten. An inconsistency that a torn final write cannot
-// explain returns an error wrapping ErrCorrupt.
+// createSegment creates an empty segment file (magic written, file and
+// directory fsynced) and returns it open for appending.
+func createSegment(dir string, idx int) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, segName(idx)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// recoverWAL validates a raw WAL segment image (header + records). It
+// returns the decoded entries of every valid record and the byte
+// length of the valid prefix. goodLen < len(data) means a torn tail
+// was identified and should be truncated; goodLen < headerLen means
+// the header itself must be rewritten. An inconsistency that a torn
+// final write cannot explain returns an error wrapping ErrCorrupt.
 func recoverWAL(data []byte) (entries []quorum.Entry, goodLen int, err error) {
 	if len(data) < headerLen {
 		// Nothing, or a torn header write: repairable iff the bytes are
@@ -271,37 +452,139 @@ func appendRecord(b []byte, e quorum.Entry) ([]byte, error) {
 // Append makes one entry durable: the record is written to the WAL and
 // fsynced according to StoreOptions.SyncEvery.
 func (s *Store) Append(e quorum.Entry) error {
-	b, err := appendRecord(s.buf[:0], e)
-	if err != nil {
+	if _, err := s.AppendBatch([]quorum.Entry{e}); err != nil {
 		return err
 	}
-	s.buf = b[:0]
-	if _, err := s.wal.Write(b); err != nil {
-		return err
-	}
-	s.walSize += int64(len(b))
-	s.pending++
 	if s.opts.SyncEvery <= 1 || s.pending >= s.opts.SyncEvery {
 		return s.Sync()
 	}
 	return nil
 }
 
-// Sync flushes any batched appends to stable storage.
-func (s *Store) Sync() error {
-	if s.pending == 0 {
-		return nil
+// AppendBatch writes entries to the active segment in one contiguous
+// write — no fsync — and returns the batch's commit sequence. The
+// records are durable once WaitDurable(seq) returns: the pipelined
+// path writes under the owner's lock, releases it, and then waits for
+// a group fsync to cover the batch, so concurrent batches from many
+// connections share fsyncs. An empty batch returns the current commit
+// sequence (already durable or in flight).
+//
+//lint:ignore lock-guard wal is writer state; the owning Replica's mutex serializes writers (cmu guards only commit state)
+func (s *Store) AppendBatch(entries []quorum.Entry) (int64, error) {
+	if len(entries) == 0 {
+		s.cmu.Lock()
+		defer s.cmu.Unlock()
+		return s.seq, nil
 	}
+	b := s.buf[:0]
+	var err error
+	for _, e := range entries {
+		b, err = appendRecord(b, e)
+		if err != nil {
+			return 0, err
+		}
+	}
+	s.buf = b[:0]
+	if _, err := s.wal.Write(b); err != nil {
+		return 0, err
+	}
+	s.walSize += int64(len(b))
+	s.segRecords += len(entries)
+	s.pending += len(entries)
+	//lint:ignore lock-order cmu is released before rotate's Sync reacquires it; the summary-level cycle is not a real hold
+	s.cmu.Lock()
+	s.seq += int64(len(entries))
+	target := s.seq
+	s.cmu.Unlock()
+	if s.opts.SegmentRecords > 0 && s.segRecords >= s.opts.SegmentRecords {
+		if err := s.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	return target, nil
+}
+
+// WaitDurable blocks until every record with commit sequence ≤ target
+// is stable — fsynced in a WAL segment or covered by a published
+// snapshot (compaction only deletes segments whose records the fsynced
+// snapshot holds, and rotation syncs before sealing, so `durable` only
+// ever advances over stable records). Concurrent callers elect one
+// fsyncer at a time; everyone whose target the in-flight fsync covers
+// shares it (group commit). An fsync failure is sticky: the store is
+// poisoned and every waiter fails.
+func (s *Store) WaitDurable(target int64) error {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	for s.durable < target {
+		if s.syncErr != nil {
+			return s.syncErr
+		}
+		if s.syncing {
+			s.ccond.Wait()
+			continue
+		}
+		s.syncing = true
+		f := s.syncFile
+		covered := s.seq
+		s.cmu.Unlock()
+		err := f.Sync()
+		//lint:ignore lock-balance group commit drops cmu around the fsync and reacquires it; the deferred Unlock releases the final hold
+		s.cmu.Lock()
+		s.syncing = false
+		if err != nil {
+			if s.syncErr == nil {
+				s.syncErr = err
+			}
+		} else if covered > s.durable {
+			s.durable = covered
+		}
+		s.ccond.Broadcast()
+	}
+	return nil
+}
+
+// Sync flushes every batched append to stable storage.
+func (s *Store) Sync() error {
 	s.pending = 0
-	return s.wal.Sync()
+	s.cmu.Lock()
+	target := s.seq
+	s.cmu.Unlock()
+	return s.WaitDurable(target)
+}
+
+// rotate seals the active segment and opens the next one. Sync runs
+// first, so the sealed segment is fully durable and no WaitDurable
+// caller can still need an fsync of the old file (their targets are
+// all ≤ the now-durable sequence).
+//
+//lint:ignore lock-guard wal is writer state; the owning Replica's mutex serializes writers (cmu guards only commit state)
+func (s *Store) rotate() error {
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	f, err := createSegment(s.dir, s.segIndex+1)
+	if err != nil {
+		return err
+	}
+	old := s.wal
+	s.cmu.Lock()
+	s.syncFile = f
+	s.cmu.Unlock()
+	s.wal = f
+	s.walSize = headerLen
+	s.segIndex++
+	s.segRecords = 0
+	return old.Close()
 }
 
 // Snapshot publishes the given log as the site's snapshot — written to
-// snap.tmp, fsynced, renamed over snap, directory fsynced — and then
-// resets the WAL, whose entries the snapshot now covers. The publish
-// is atomic: a crash anywhere leaves either the old snapshot with the
-// full WAL or the new snapshot with a reset (or stale-but-merged,
-// since Merge deduplicates by timestamp) WAL.
+// snap.tmp, fsynced, renamed over snap, directory fsynced — then
+// rotates to a fresh segment and deletes the sealed segments the
+// snapshot now covers, oldest-first so a crash mid-compaction leaves a
+// contiguous segment suffix. The publish is atomic, and compaction at
+// a published snapshot never changes the recovered state: Merge
+// deduplicates by timestamp, so the snapshot plus any suffix of the
+// old segments recovers the same log as the snapshot alone.
 func (s *Store) Snapshot(l quorum.Log) error {
 	if err := s.Sync(); err != nil {
 		return err
@@ -338,10 +621,21 @@ func (s *Store) Snapshot(l quorum.Log) error {
 	if err := syncDir(s.dir); err != nil {
 		return err
 	}
-	return s.resetWAL()
+	if err := s.rotate(); err != nil {
+		return err
+	}
+	for i := s.firstSeg; i < s.segIndex; i++ {
+		if err := os.Remove(filepath.Join(s.dir, segName(i))); err != nil {
+			return err
+		}
+	}
+	s.firstSeg = s.segIndex
+	return syncDir(s.dir)
 }
 
-// resetWAL truncates the WAL to a fresh header.
+// resetWAL truncates the active segment to a fresh header.
+//
+//lint:ignore lock-guard wal is writer state; the owning Replica's mutex serializes writers (cmu guards only commit state)
 func (s *Store) resetWAL() error {
 	if err := s.wal.Truncate(0); err != nil {
 		return err
@@ -356,17 +650,20 @@ func (s *Store) resetWAL() error {
 		return err
 	}
 	s.walSize = headerLen
+	s.segRecords = 0
 	s.pending = 0
 	return nil
 }
 
 // Close flushes and closes the WAL.
+//
+//lint:ignore lock-guard wal is writer state; the owning Replica's mutex serializes writers (cmu guards only commit state)
 func (s *Store) Close() error {
-	if err := s.Sync(); err != nil {
-		s.wal.Close()
-		return err
+	err := s.Sync()
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
 	}
-	return s.wal.Close()
+	return err
 }
 
 // readSnapshot loads and validates the published snapshot. A missing

@@ -37,7 +37,7 @@ func walImage(t *testing.T, entries []quorum.Entry) (img []byte, bounds []int) {
 	if err := s.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
-	img, err = os.ReadFile(filepath.Join(dir, "wal"))
+	img, err = os.ReadFile(filepath.Join(dir, segName(0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +55,9 @@ func walImage(t *testing.T, entries []quorum.Entry) (img []byte, bounds []int) {
 	return img, bounds
 }
 
-// openImage writes a damaged WAL image into a fresh directory and opens it.
+// openImage writes a damaged WAL image into a fresh directory — under
+// the pre-segmentation name "wal", so every torture case also covers
+// the legacy-layout migration — and opens it.
 func openImage(t *testing.T, img []byte) (*Store, quorum.Log, RecoveryInfo, error) {
 	t.Helper()
 	dir := t.TempDir()

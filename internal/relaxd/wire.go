@@ -63,6 +63,12 @@ const (
 	// MsgPing / MsgPong are the liveness probe pair.
 	MsgPing
 	MsgPong
+	// MsgFetchState asks a replica for its full state for snapshot
+	// shipping (a joining or wiped site rebuilding its store).
+	MsgFetchState
+	// MsgState is the reply to MsgFetchState: the entries the site's
+	// published snapshot covers plus its WAL suffix.
+	MsgState
 )
 
 // ErrFrame is returned for any malformed frame or message payload. It
@@ -73,9 +79,12 @@ var ErrFrame = errors.New("relaxd: malformed frame")
 // Message is one protocol message in decoded form.
 type Message struct {
 	Type byte
-	// Entries carries the log for MsgLog and the updated view for
-	// MsgAppend.
+	// Entries carries the log for MsgLog, the updated view for
+	// MsgAppend, and the snapshot-covered part for MsgState.
 	Entries []quorum.Entry
+	// Wal is the MsgState WAL suffix — the entries past the published
+	// snapshot.
+	Wal []quorum.Entry
 	// N is the MsgAck payload: the number of entries newly appended.
 	N int
 	// Err is the MsgErr payload.
@@ -86,18 +95,16 @@ type Message struct {
 func AppendMessage(b []byte, m Message) ([]byte, error) {
 	b = append(b, m.Type)
 	switch m.Type {
-	case MsgGetLog, MsgPing, MsgPong:
+	case MsgGetLog, MsgPing, MsgPong, MsgFetchState:
 		return b, nil
 	case MsgLog, MsgAppend:
-		b = binary.AppendUvarint(b, uint64(len(m.Entries)))
-		for _, e := range m.Entries {
-			var err error
-			b, err = appendEntry(b, e)
-			if err != nil {
-				return nil, err
-			}
+		return appendEntryList(b, m.Entries)
+	case MsgState:
+		b, err := appendEntryList(b, m.Entries)
+		if err != nil {
+			return nil, err
 		}
-		return b, nil
+		return appendEntryList(b, m.Wal)
 	case MsgAck:
 		if m.N < 0 {
 			return nil, fmt.Errorf("%w: negative ack count %d", ErrFrame, m.N)
@@ -120,34 +127,35 @@ func DecodeMessage(body []byte) (Message, error) {
 	m := Message{Type: body[0]}
 	p := body[1:]
 	switch m.Type {
-	case MsgGetLog, MsgPing, MsgPong:
+	case MsgGetLog, MsgPing, MsgPong, MsgFetchState:
 		if len(p) != 0 {
 			return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(p))
 		}
 		return m, nil
 	case MsgLog, MsgAppend:
-		n, rest, err := readUvarint(p)
+		entries, rest, err := decodeEntryList(p)
 		if err != nil {
 			return Message{}, err
-		}
-		// Each entry needs at least minEntryLen bytes, so the declared
-		// count is capped by the bytes that are actually present.
-		if n > uint64(len(rest)/minEntryLen) {
-			return Message{}, fmt.Errorf("%w: %d entries declared in %d bytes", ErrFrame, n, len(rest))
-		}
-		entries := make([]quorum.Entry, 0, n)
-		for i := uint64(0); i < n; i++ {
-			var e quorum.Entry
-			e, rest, err = decodeEntry(rest)
-			if err != nil {
-				return Message{}, err
-			}
-			entries = append(entries, e)
 		}
 		if len(rest) != 0 {
 			return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(rest))
 		}
 		m.Entries = entries
+		return m, nil
+	case MsgState:
+		entries, rest, err := decodeEntryList(p)
+		if err != nil {
+			return Message{}, err
+		}
+		wal, rest, err := decodeEntryList(rest)
+		if err != nil {
+			return Message{}, err
+		}
+		if len(rest) != 0 {
+			return Message{}, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(rest))
+		}
+		m.Entries = entries
+		m.Wal = wal
 		return m, nil
 	case MsgAck:
 		n, rest, err := readUvarint(p)
@@ -208,6 +216,43 @@ func ReadFrame(r io.Reader) (Message, error) {
 	return DecodeMessage(body)
 }
 
+// appendEntryList encodes a uvarint count followed by the entries.
+func appendEntryList(b []byte, entries []quorum.Entry) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(entries)))
+	for _, e := range entries {
+		var err error
+		b, err = appendEntry(b, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// decodeEntryList is the inverse of appendEntryList. Each entry needs
+// at least minEntryLen bytes, so the declared count is capped by the
+// bytes that are actually present — a hostile count can never force an
+// over-allocation.
+func decodeEntryList(p []byte) ([]quorum.Entry, []byte, error) {
+	n, rest, err := readUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)/minEntryLen) {
+		return nil, nil, fmt.Errorf("%w: %d entries declared in %d bytes", ErrFrame, n, len(rest))
+	}
+	entries := make([]quorum.Entry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e quorum.Entry
+		e, rest, err = decodeEntry(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, rest, nil
+}
+
 // appendEntry encodes one log entry: uvarint timestamp time and site,
 // then the length-prefixed text form of the operation execution
 // (history.Op.String — the same grammar history.ParseOp accepts, so
@@ -261,4 +306,59 @@ func readUvarint(b []byte) (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("%w: truncated varint", ErrFrame)
 	}
 	return v, b[n:], nil
+}
+
+// Multiplexed framing. A pooled connection opens with the 8-byte
+// preamble muxMagic, after which every frame carries an 8-byte
+// correlation id between the length prefix and the message body:
+//
+//	mux frame: [4-byte BE length of (id+body)][8-byte BE id][body]
+//
+// Replies may arrive in any order; the id pairs them with requests, so
+// one connection carries many concurrent in-flight exchanges. The
+// server tells the two framings apart by the first bytes of the
+// stream: a legacy frame starts with a 4-byte length ≤ MaxFrame whose
+// first byte is always 0x00, while muxMagic starts with 'r'.
+const (
+	muxMagic  = "rlxmux1\n"
+	muxHdrLen = 8
+)
+
+// WriteMuxFrame writes one multiplexed frame.
+func WriteMuxFrame(w io.Writer, id uint64, m Message) error {
+	body, err := AppendMessage(make([]byte, 4+muxHdrLen, 64), m)
+	if err != nil {
+		return err
+	}
+	n := len(body) - 4
+	if n > MaxFrame+muxHdrLen {
+		return fmt.Errorf("%w: body %d exceeds MaxFrame", ErrFrame, n)
+	}
+	binary.BigEndian.PutUint32(body[:4], uint32(n))
+	binary.BigEndian.PutUint64(body[4:12], id)
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMuxFrame reads one multiplexed frame and decodes its body. Like
+// ReadFrame, the declared length is validated before any allocation.
+func ReadMuxFrame(r io.Reader) (uint64, Message, error) {
+	var hdr [4 + muxHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n <= muxHdrLen || n > MaxFrame+muxHdrLen {
+		return 0, Message{}, fmt.Errorf("%w: declared mux body length %d", ErrFrame, n)
+	}
+	if _, err := io.ReadFull(r, hdr[4:]); err != nil {
+		return 0, Message{}, fmt.Errorf("%w: short mux header: %v", ErrFrame, err)
+	}
+	id := binary.BigEndian.Uint64(hdr[4:12])
+	body := make([]byte, n-muxHdrLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, Message{}, fmt.Errorf("%w: short body: %v", ErrFrame, err)
+	}
+	m, err := DecodeMessage(body)
+	return id, m, err
 }
